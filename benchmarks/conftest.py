@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_table*.py`` / ``test_figure1*.py`` module regenerates one table or
+figure of the paper: it prints the reproduced numbers (via ``-s`` or captured
+in the benchmark log) and asserts the *shape* claims the paper makes, so a
+plain ``pytest benchmarks/ --benchmark-only`` both reproduces and sanity-checks
+the evaluation section.  pytest-benchmark timings of the underlying primitives
+are attached where measuring our pure-Python implementation is meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemSetup
+from repro.energy import DeviceProfile, RADIO_100KBPS, WLAN_SPECTRUM24
+
+
+@pytest.fixture(scope="session")
+def small_setup() -> SystemSetup:
+    """Fast parameters for simulation cross-checks inside the benchmarks."""
+    return SystemSetup.from_param_sets("test-256", "gq-test-256")
+
+
+@pytest.fixture(scope="session")
+def paper_setup() -> SystemSetup:
+    """The paper's 1024-bit parameters for primitive timing benchmarks."""
+    return SystemSetup.from_param_sets("ipps2006-1024", "gq-1024")
+
+
+@pytest.fixture(scope="session")
+def wlan_profile() -> DeviceProfile:
+    return DeviceProfile(transceiver=WLAN_SPECTRUM24)
+
+
+@pytest.fixture(scope="session")
+def radio_profile() -> DeviceProfile:
+    return DeviceProfile(transceiver=RADIO_100KBPS)

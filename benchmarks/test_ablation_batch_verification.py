@@ -1,0 +1,87 @@
+"""Ablation benchmarks (beyond the paper's tables).
+
+Two design choices drive the proposed protocol's energy advantage; these
+benches quantify each in isolation:
+
+1. **Batch verification** — replace the single batch equation with n-1
+   individual GQ verifications (everything else identical) and watch the
+   per-node energy become linear in n again.
+2. **Transceiver crossover** — on the 100 kbps radio the GQ signature's large
+   wire size (1184 bits) costs real energy; the bench sweeps n to show where
+   communication starts to dominate computation for each protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import MESSAGE_SIZES_BITS, format_table, initial_gka_energy_j
+from repro.energy import OperationCostTable, RADIO_100KBPS, WLAN_SPECTRUM24
+
+
+def _proposed_without_batching_j(n: int, transceiver) -> float:
+    """Closed-form energy of the proposed protocol with individual verification."""
+    costs = OperationCostTable()
+    comp_mj = (
+        3 * costs.energy_mj("modexp")
+        + costs.energy_mj("sign_gen_gq")
+        + (n - 1) * costs.energy_mj("sign_ver_gq")
+    )
+    per_round = MESSAGE_SIZES_BITS["identity"] + MESSAGE_SIZES_BITS["group_element"] + MESSAGE_SIZES_BITS["gq_modulus_element"]
+    comm_mj = transceiver.tx_energy_mj(2 * per_round) + transceiver.rx_energy_mj(2 * per_round * (n - 1))
+    return (comp_mj + comm_mj) / 1000.0
+
+
+def test_batch_verification_ablation():
+    """Batch verification is what keeps the computation O(1) in n."""
+    rows = []
+    for n in (10, 50, 100, 500):
+        batched = initial_gka_energy_j("proposed", n, WLAN_SPECTRUM24)
+        unbatched = _proposed_without_batching_j(n, WLAN_SPECTRUM24)
+        rows.append([n, batched, unbatched, unbatched / batched])
+    print()
+    print(
+        format_table(
+            ["n", "with batch verify (J)", "individual verify (J)", "ratio"],
+            rows,
+            title="Ablation — batch vs. individual GQ verification (WLAN)",
+        )
+    )
+    # At n=500 individual verification costs several times more.
+    assert rows[-1][3] > 4.0
+    # At n=10 the difference is modest (the ablation matters at scale).
+    assert rows[0][3] < 3.5
+    assert rows[0][3] < rows[-1][3]
+
+
+def test_transceiver_crossover():
+    """On the 100 kbps radio, reception costs dominate for large groups."""
+    rows = []
+    for n in (10, 50, 100, 500):
+        wlan = initial_gka_energy_j("proposed", n, WLAN_SPECTRUM24)
+        radio = initial_gka_energy_j("proposed", n, RADIO_100KBPS)
+        rows.append([n, wlan, radio, radio / wlan])
+    print()
+    print(
+        format_table(
+            ["n", "WLAN (J)", "100kbps radio (J)", "radio/WLAN"],
+            rows,
+            title="Ablation — transceiver choice for the proposed protocol",
+        )
+    )
+    # The radio penalty grows with n because it is a per-bit (communication) effect.
+    ratios = [row[3] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 10
+
+
+def test_benchmark_closed_form_sweep(benchmark):
+    """The whole ablation sweep is itself cheap to compute."""
+    def sweep():
+        return [
+            (_proposed_without_batching_j(n, WLAN_SPECTRUM24), initial_gka_energy_j("proposed", n, WLAN_SPECTRUM24))
+            for n in (10, 50, 100, 500)
+        ]
+
+    values = benchmark(sweep)
+    assert len(values) == 4

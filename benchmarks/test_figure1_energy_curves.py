@@ -1,0 +1,78 @@
+"""Reproduce Figure 1: per-node energy of the five authenticated GKA protocols
+for n in {10, 50, 100, 500} on both transceivers.
+
+Two reproductions are produced:
+
+* the closed-form model (the paper's own methodology), printed as CSV and an
+  ASCII log-scale chart;
+* a simulation cross-check at n = 8: the real protocols are executed over the
+  simulated network and their recorded per-node costs priced on the same
+  device models; the resulting protocol ordering must match the closed form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE1_GROUP_SIZES, INITIAL_PROTOCOLS, figure1_report, figure1_series, initial_gka_energy_j
+from repro.baselines import AuthenticatedBDProtocol, SSNProtocol
+from repro.core import ProposedGKAProtocol
+from repro.energy import RADIO_100KBPS, WLAN_SPECTRUM24
+from repro.pki import Identity
+
+
+def test_print_figure1():
+    """Regenerate all ten curves and assert the paper's headline claims."""
+    print()
+    print(figure1_report(FIGURE1_GROUP_SIZES))
+    series = figure1_series(FIGURE1_GROUP_SIZES)
+    for index in range(len(FIGURE1_GROUP_SIZES)):
+        for transceiver in ("100kbps", "wlan"):
+            proposed = series[f"proposed/{transceiver}"][index]
+            for protocol in INITIAL_PROTOCOLS:
+                if protocol != "proposed":
+                    assert proposed < series[f"{protocol}/{transceiver}"][index]
+    # The gap grows with n (the whole point of O(1) verification).
+    wlan_gap_small = series["bd-ecdsa/wlan"][0] / series["proposed/wlan"][0]
+    wlan_gap_large = series["bd-ecdsa/wlan"][-1] / series["proposed/wlan"][-1]
+    assert wlan_gap_large > wlan_gap_small
+
+
+def test_simulation_cross_check(small_setup, wlan_profile, radio_profile):
+    """Run the real protocols at n = 8 and compare orderings with the model."""
+    n = 8
+    members = [Identity(f"fig1-{i}") for i in range(n)]
+    runs = {
+        "proposed": ProposedGKAProtocol(small_setup).run(members, seed=1),
+        "bd-ecdsa": AuthenticatedBDProtocol(small_setup, "ecdsa").run(members, seed=1),
+        "bd-dsa": AuthenticatedBDProtocol(small_setup, "dsa").run(members, seed=1),
+        "bd-sok": AuthenticatedBDProtocol(small_setup, "sok").run(members, seed=1),
+        "ssn": SSNProtocol(small_setup).run(members, seed=1),
+    }
+    for profile, transceiver_name in ((wlan_profile, "wlan"), (radio_profile, "100kbps")):
+        measured = {
+            name: max(profile.total_j(rec) for rec in result.state.recorders().values())
+            for name, result in runs.items()
+        }
+        modelled = {name: initial_gka_energy_j(name, n, profile.transceiver) for name in runs}
+        print(f"\nsimulated vs closed-form per-node energy (n={n}, {transceiver_name}):")
+        for name in sorted(measured, key=measured.get):
+            print(f"  {name:10s} simulated={measured[name]:8.4f} J   model={modelled[name]:8.4f} J")
+        # Shape claims: the proposed protocol wins, SOK loses, in both views.
+        assert min(measured, key=measured.get) == "proposed"
+        assert max(measured, key=measured.get) == "bd-sok"
+        assert min(modelled, key=modelled.get) == "proposed"
+        assert max(modelled, key=modelled.get) == "bd-sok"
+
+
+@pytest.mark.parametrize("transceiver", [WLAN_SPECTRUM24, RADIO_100KBPS], ids=["wlan", "100kbps"])
+def test_benchmark_figure1_generation(benchmark, transceiver):
+    """Generating the closed-form sweep is cheap; benchmark it for the record."""
+    values = benchmark(
+        lambda: [
+            initial_gka_energy_j(protocol, n, transceiver)
+            for protocol in INITIAL_PROTOCOLS
+            for n in FIGURE1_GROUP_SIZES
+        ]
+    )
+    assert len(values) == len(INITIAL_PROTOCOLS) * len(FIGURE1_GROUP_SIZES)

@@ -1,0 +1,100 @@
+"""Reproduce Table 2: computational energy and timing costs per primitive.
+
+The table is derived from the paper's extrapolation rule (equation 4) and the
+MIRACL reference timings; this benchmark prints it next to the paper's printed
+values and also measures the wall-clock time of our own pure-Python primitives
+with pytest-benchmark (reported for interest — the energy model uses the
+paper's device constants, not our laptop timings).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.energy import OperationCostTable, PAPER_TABLE2_ENERGY_MJ
+from repro.groups.pairing import SimulatedPairingGroup
+from repro.mathutils.rand import DeterministicRNG
+from repro.pki import Identity, PrivateKeyGenerator
+from repro.signatures import ECDSASignatureScheme, GQSignatureScheme
+
+
+def test_print_table2():
+    """Regenerate Table 2 and check every derived value against the paper."""
+    table = OperationCostTable()
+    rows = []
+    for operation in sorted(PAPER_TABLE2_ENERGY_MJ):
+        ours_mj = table.energy_mj(operation)
+        paper_mj = PAPER_TABLE2_ENERGY_MJ[operation]
+        rows.append(
+            [
+                operation,
+                ours_mj,
+                paper_mj,
+                table.time_ms(operation),
+                table.reference_timings_ms[operation],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["operation", "ours (mJ)", "paper (mJ)", "StrongARM (ms)", "P-III 450 (ms)"],
+            rows,
+            title="Table 2 — computational energy cost",
+        )
+    )
+    for operation, paper_mj in PAPER_TABLE2_ENERGY_MJ.items():
+        assert abs(table.energy_mj(operation) - paper_mj) / paper_mj < 0.03
+
+
+def test_relative_cost_ordering():
+    """The orderings the paper's argument relies on."""
+    table = OperationCostTable()
+    assert table.energy_mj("sign_ver_sok") > 7 * table.energy_mj("sign_ver_gq")
+    assert table.energy_mj("sign_ver_gq") < 2 * table.energy_mj("sign_ver_dsa")
+    assert table.energy_mj("symmetric") < table.energy_mj("modexp") / 50
+
+
+def test_benchmark_modexp_1024(benchmark, paper_setup):
+    """Wall-clock cost of the paper-sized modular exponentiation in CPython."""
+    group = paper_setup.group
+    rng = DeterministicRNG("bench-modexp")
+    exponent = rng.zq_star(group.q)
+    benchmark(lambda: group.exp_g(exponent))
+
+
+def test_benchmark_gq_sign_and_verify(benchmark, paper_setup):
+    """Wall-clock cost of one GQ sign+verify on the 1024-bit modulus."""
+    pkg = paper_setup.pkg
+    identity = Identity("bench-gq")
+    key = pkg.register_and_extract(identity)
+    scheme = GQSignatureScheme(paper_setup.gq_params)
+    rng = DeterministicRNG("bench-gq")
+
+    def sign_and_verify():
+        signature = scheme.sign(key, b"benchmark message", rng)
+        assert scheme.verify(identity.to_bytes(), b"benchmark message", signature)
+
+    benchmark(sign_and_verify)
+
+
+def test_benchmark_ecdsa_sign_and_verify(benchmark):
+    """Wall-clock cost of one secp160r1 ECDSA sign+verify (pure Python)."""
+    scheme = ECDSASignatureScheme()
+    rng = DeterministicRNG("bench-ecdsa")
+    keypair = scheme.generate_keypair(rng)
+
+    def sign_and_verify():
+        signature = scheme.sign(keypair, b"benchmark message", rng)
+        assert scheme.verify(keypair, b"benchmark message", signature)
+
+    benchmark(sign_and_verify)
+
+
+def test_benchmark_simulated_pairing(benchmark, paper_setup):
+    """Wall-clock cost of one simulated pairing evaluation."""
+    pairing = SimulatedPairingGroup(paper_setup.group)
+    rng = DeterministicRNG("bench-pairing")
+    a = pairing.random_element(rng)
+    b = pairing.random_element(rng)
+    benchmark(lambda: pairing.pairing(a, b))

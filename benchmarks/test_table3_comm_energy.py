@@ -1,0 +1,73 @@
+"""Reproduce Table 3: communication energy costs per payload and transceiver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.energy import CommunicationCostTable, PAPER_TABLE3_MJ, PAYLOAD_BITS
+from repro.mathutils.rand import DeterministicRNG
+from repro.pki import Identity
+from repro.signatures import ECDSASignatureScheme, GQSignatureScheme
+
+
+def test_print_table3():
+    """Regenerate Table 3 and check every row against the paper."""
+    table = CommunicationCostTable()
+    rows = []
+    for payload in sorted(PAYLOAD_BITS):
+        rows.append(
+            [
+                payload,
+                PAYLOAD_BITS[payload],
+                table.cost_mj(payload, "tx", "100kbps"),
+                table.cost_mj(payload, "rx", "100kbps"),
+                table.cost_mj(payload, "tx", "wlan"),
+                table.cost_mj(payload, "rx", "wlan"),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["payload", "bits", "tx 100kbps (mJ)", "rx 100kbps (mJ)", "tx WLAN (mJ)", "rx WLAN (mJ)"],
+            rows,
+            title="Table 3 — communication energy cost",
+        )
+    )
+    print()
+    per_bit = table.per_bit_rows()
+    print(
+        format_table(
+            ["direction/transceiver", "uJ per bit"],
+            [[f"{d}/{t}", v] for (d, t), v in sorted(per_bit.items())],
+        )
+    )
+    for key, paper_mj in PAPER_TABLE3_MJ.items():
+        assert abs(table.cost_mj(*key) - paper_mj) <= max(0.02, 0.02 * paper_mj), key
+
+
+def test_payload_sizes_match_real_objects(paper_setup):
+    """The nominal Table 3 payload sizes match the library's actual objects."""
+    rng = DeterministicRNG("table3")
+    gq = GQSignatureScheme(paper_setup.gq_params)
+    key = paper_setup.enroll(Identity("table3-user"))
+    signature = gq.sign(key, b"m", rng)
+    assert signature.wire_bits == PAYLOAD_BITS["gq_signature"] == 1184
+
+    ecdsa = ECDSASignatureScheme()
+    # secp160r1's group order is 161 bits, so the real signature is 2 bits over
+    # the paper's nominal 320; the energy model uses the nominal size.
+    assert abs(ecdsa.signature_bits - PAYLOAD_BITS["ecdsa_signature"]) <= 2
+
+    from repro.pki import CertificateAuthority
+
+    ca = CertificateAuthority(ecdsa, rng)
+    certificate = ca.issue(Identity("table3-cert"), ecdsa.generate_keypair(rng).public)
+    assert certificate.wire_bits == PAYLOAD_BITS["ecdsa_certificate"] == 688
+
+
+def test_benchmark_cost_table_generation(benchmark):
+    """Regenerating the full table is effectively free (sanity benchmark)."""
+    table = CommunicationCostTable()
+    result = benchmark(table.as_table)
+    assert len(result) == 24

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works in fully offline environments where the
+``wheel`` package (needed by PEP 660 editable installs) is unavailable — pip
+can then fall back to the legacy ``setup.py develop`` code path via
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

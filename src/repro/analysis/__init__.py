@@ -1,0 +1,44 @@
+"""Complexity and energy analysis: the closed-form models behind Tables 1, 4,
+5 and Figure 1, plus plain-text table/figure rendering."""
+
+from .complexity import (
+    DynamicComplexityParams,
+    TABLE1_METRICS,
+    Table1Row,
+    Table4Row,
+    table1_complexity,
+    table4_complexity,
+)
+from .energy_model import (
+    FIGURE1_GROUP_SIZES,
+    INITIAL_PROTOCOLS,
+    MESSAGE_SIZES_BITS,
+    PAPER_TABLE5_J,
+    dynamic_energy_table,
+    figure1_series,
+    initial_gka_energy_j,
+)
+from .figures import figure1_ascii, figure1_csv, figure1_report
+from .tables import format_table, format_value, to_csv
+
+__all__ = [
+    "DynamicComplexityParams",
+    "TABLE1_METRICS",
+    "Table1Row",
+    "Table4Row",
+    "table1_complexity",
+    "table4_complexity",
+    "FIGURE1_GROUP_SIZES",
+    "INITIAL_PROTOCOLS",
+    "MESSAGE_SIZES_BITS",
+    "PAPER_TABLE5_J",
+    "dynamic_energy_table",
+    "figure1_series",
+    "initial_gka_energy_j",
+    "figure1_ascii",
+    "figure1_csv",
+    "figure1_report",
+    "format_table",
+    "format_value",
+    "to_csv",
+]

@@ -1,0 +1,283 @@
+"""Closed-form energy model: Figure 1 and Table 5.
+
+The paper's energy results are analytical: per-node energy = (operation counts
+from the complexity analysis) x (per-operation costs of Table 2) + (message
+bits) x (per-bit costs of Table 3).  This module implements exactly that
+model, using the paper's nominal message sizes, so the benchmark harness can
+regenerate Figure 1's ten curves and Table 5's per-role figures and compare
+them against the values printed in the paper.
+
+The *simulation* path (running the real protocols over the simulated network
+and pricing the recorded costs) lives in the protocols themselves; it differs
+from the closed form only in encoding overheads (length prefixes, MAC tags on
+the symmetric envelopes) and is used as a cross-check in the benchmarks and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import EnergyModelError
+from ..energy.opcosts import OperationCostTable
+from ..energy.transceiver import RADIO_100KBPS, Transceiver, WLAN_SPECTRUM24
+from .complexity import DynamicComplexityParams, table1_complexity
+
+__all__ = [
+    "MESSAGE_SIZES_BITS",
+    "INITIAL_PROTOCOLS",
+    "initial_gka_energy_j",
+    "figure1_series",
+    "dynamic_energy_table",
+    "PAPER_TABLE5_J",
+    "FIGURE1_GROUP_SIZES",
+]
+
+#: Nominal wire sizes (bits) used by the closed-form model, following the
+#: paper: 32-bit identities, 1024-bit group elements (|p| = 1024), 1024-bit
+#: GQ modulus values, signature and certificate sizes from Table 3.
+MESSAGE_SIZES_BITS: Dict[str, int] = {
+    "identity": 32,
+    "group_element": 1024,       # z_i, X_i (elements of Z_p^*)
+    "gq_modulus_element": 1024,  # t_i, s_i (elements of Z_n^*)
+    "gq_signature": 1184,
+    "dsa_signature": 320,
+    "ecdsa_signature": 320,
+    "sok_signature": 388,
+    "dsa_certificate": 8 * 263,
+    "ecdsa_certificate": 8 * 86,
+    "symmetric_key_blob": 1024,  # E_K(K* || U) charged at the size of K*
+}
+
+#: The five initial-GKA protocols of Figure 1, keyed as in the complexity table.
+INITIAL_PROTOCOLS = ("proposed", "bd-sok", "bd-ecdsa", "bd-dsa", "ssn")
+
+#: The group sizes on Figure 1's x axis.
+FIGURE1_GROUP_SIZES = (10, 50, 100, 500)
+
+#: Table 5 of the paper (Joules), used as the reference column in the
+#: benchmark output.  Keys: (protocol, event, role).
+PAPER_TABLE5_J: Dict[Tuple[str, str, str], float] = {
+    ("bd-rerun", "join", "incumbent"): 1.234,
+    ("bd-rerun", "join", "newcomer"): 2.31,
+    ("proposed", "join", "controller"): 0.039,
+    ("proposed", "join", "last"): 0.049,
+    ("proposed", "join", "newcomer"): 0.057,
+    ("proposed", "join", "others"): 0.00134,
+    ("bd-rerun", "leave", "remaining"): 1.179,
+    ("proposed", "leave", "odd"): 0.160,
+    ("proposed", "leave", "even"): 0.150,
+    ("bd-rerun", "merge", "group_a"): 1.660,
+    ("bd-rerun", "merge", "group_b"): 2.532,
+    ("proposed", "merge", "controller_a"): 0.079,
+    ("proposed", "merge", "controller_b"): 0.079,
+    ("proposed", "merge", "others"): 0.000986,
+    ("bd-rerun", "partition", "remaining"): 0.942,
+    ("proposed", "partition", "odd"): 0.142,
+    ("proposed", "partition", "even"): 0.132,
+}
+
+_S = MESSAGE_SIZES_BITS
+
+
+def _round1_round2_bits(protocol: str) -> Tuple[int, int]:
+    """Per-user Round 1 / Round 2 transmitted bits for the initial protocols."""
+    ident, elem, modn = _S["identity"], _S["group_element"], _S["gq_modulus_element"]
+    if protocol == "proposed":
+        return ident + elem + modn, ident + elem + modn
+    if protocol == "bd-sok":
+        return ident + elem, ident + elem + _S["sok_signature"]
+    if protocol == "bd-ecdsa":
+        return ident + elem + _S["ecdsa_certificate"], ident + elem + _S["ecdsa_signature"]
+    if protocol == "bd-dsa":
+        return ident + elem + _S["dsa_certificate"], ident + elem + _S["dsa_signature"]
+    if protocol == "ssn":
+        return ident + elem + 2 * modn, ident + elem
+    raise EnergyModelError(f"unknown protocol {protocol!r}")
+
+
+def initial_gka_energy_j(
+    protocol: str,
+    n: int,
+    transceiver: Transceiver,
+    op_costs: Optional[OperationCostTable] = None,
+) -> float:
+    """Per-node energy (Joules) of one initial-GKA run — one point of Figure 1."""
+    if n < 2:
+        raise EnergyModelError("group size must be at least 2")
+    costs = op_costs or OperationCostTable()
+    if protocol not in INITIAL_PROTOCOLS:
+        raise EnergyModelError(
+            f"unknown protocol {protocol!r}; known: {', '.join(INITIAL_PROTOCOLS)}"
+        )
+    counts = table1_complexity(n)[protocol]
+
+    computation_mj = counts["exponentiations"] * costs.energy_mj("modexp")
+    computation_mj += counts["map_to_point"] * costs.energy_mj("map_to_point")
+    if protocol == "proposed":
+        computation_mj += costs.energy_mj("sign_gen_gq") + costs.energy_mj("sign_ver_gq")
+    elif protocol == "bd-sok":
+        computation_mj += costs.energy_mj("sign_gen_sok")
+        computation_mj += counts["signature_verifications"] * costs.energy_mj("sign_ver_sok")
+    elif protocol == "bd-ecdsa":
+        computation_mj += costs.energy_mj("sign_gen_ecdsa")
+        computation_mj += counts["signature_verifications"] * costs.energy_mj("sign_ver_ecdsa")
+        computation_mj += counts["certificate_verifications"] * costs.energy_mj("sign_ver_ecdsa")
+    elif protocol == "bd-dsa":
+        computation_mj += costs.energy_mj("sign_gen_dsa")
+        computation_mj += counts["signature_verifications"] * costs.energy_mj("sign_ver_dsa")
+        computation_mj += counts["certificate_verifications"] * costs.energy_mj("sign_ver_dsa")
+    # the SSN scheme has no signature operations: everything is in the exponent count
+
+    round1_bits, round2_bits = _round1_round2_bits(protocol)
+    tx_mj = transceiver.tx_energy_mj(round1_bits + round2_bits)
+    rx_mj = transceiver.rx_energy_mj((n - 1) * (round1_bits + round2_bits))
+    return (computation_mj + tx_mj + rx_mj) / 1000.0
+
+
+def figure1_series(
+    group_sizes: Sequence[int] = FIGURE1_GROUP_SIZES,
+    op_costs: Optional[OperationCostTable] = None,
+) -> Dict[str, List[float]]:
+    """All ten curves of Figure 1 (5 protocols x 2 transceivers), in Joules.
+
+    Keys are ``"<protocol>/<transceiver>"`` with transceiver ``"100kbps"`` or
+    ``"wlan"``, matching the paper's curve labels (a)–(j).
+    """
+    curves: Dict[str, List[float]] = {}
+    for protocol in INITIAL_PROTOCOLS:
+        for label, transceiver in (("100kbps", RADIO_100KBPS), ("wlan", WLAN_SPECTRUM24)):
+            curves[f"{protocol}/{label}"] = [
+                initial_gka_energy_j(protocol, n, transceiver, op_costs) for n in group_sizes
+            ]
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Table 5: dynamic protocols, per role
+# ---------------------------------------------------------------------------
+
+
+def _sym(costs: OperationCostTable, count: int) -> float:
+    return count * costs.energy_mj("symmetric")
+
+
+def dynamic_energy_table(
+    params: DynamicComplexityParams = DynamicComplexityParams(),
+    transceiver: Transceiver = WLAN_SPECTRUM24,
+    op_costs: Optional[OperationCostTable] = None,
+) -> Dict[Tuple[str, str, str], float]:
+    """Table 5: per-role energy (Joules) of the dynamic protocols.
+
+    Default parameters are the paper's: ``n = 100`` current members, ``m = 20``
+    merging users, ``ld = 20`` leaving users, StrongARM CPU and the Spectrum24
+    WLAN card.
+
+    The BD baseline rows follow the paper's accounting for a re-executed
+    BD + ECDSA run: incumbents verify only certificates they have not seen
+    before (the newcomer's), while joining/merging users verify everyone's.
+    """
+    costs = op_costs or OperationCostTable()
+    n, m, ld = params.n, params.m, params.ld
+    tx = transceiver.tx_energy_mj
+    rx = transceiver.rx_energy_mj
+    ident, elem, modn = _S["identity"], _S["group_element"], _S["gq_modulus_element"]
+    gq_sig, ecdsa_sig, ecdsa_cert = _S["gq_signature"], _S["ecdsa_signature"], _S["ecdsa_certificate"]
+    sym_blob = _S["symmetric_key_blob"]
+    modexp = costs.energy_mj("modexp")
+    gq_gen = costs.energy_mj("sign_gen_gq")
+    gq_ver = costs.energy_mj("sign_ver_gq")
+    ecdsa_gen = costs.energy_mj("sign_gen_ecdsa")
+    ecdsa_ver = costs.energy_mj("sign_ver_ecdsa")
+
+    table: Dict[Tuple[str, str, str], float] = {}
+
+    # ------------------------------------------------------------------ join
+    # BD re-run over n+1 members.
+    bd_members = n + 1
+    bd_r1 = ident + elem + ecdsa_cert
+    bd_r2 = ident + elem + ecdsa_sig
+    bd_comm = tx(bd_r1 + bd_r2) + rx((bd_members - 1) * (bd_r1 + bd_r2))
+    bd_comp_incumbent = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver + 1 * ecdsa_ver
+    bd_comp_newcomer = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver + (bd_members - 1) * ecdsa_ver
+    table[("bd-rerun", "join", "incumbent")] = (bd_comp_incumbent + bd_comm) / 1000.0
+    table[("bd-rerun", "join", "newcomer")] = (bd_comp_newcomer + bd_comm) / 1000.0
+
+    # Proposed Join.
+    m_new = ident + elem + gq_sig                  # m_{n+1}
+    m_u1 = ident + sym_blob                        # m'_1 = U1 || E_K(K*)
+    m_un = ident + sym_blob + elem + gq_sig        # m''_n
+    m_un_unicast = ident + sym_blob                # m'''_n
+    table[("proposed", "join", "controller")] = (
+        gq_ver + 2 * modexp + _sym(costs, 2) + tx(m_u1) + rx(m_new + m_un)
+    ) / 1000.0
+    table[("proposed", "join", "last")] = (
+        gq_ver + 1 * modexp + gq_gen + _sym(costs, 3)
+        + tx(m_un + m_un_unicast) + rx(m_new + m_u1)
+    ) / 1000.0
+    table[("proposed", "join", "newcomer")] = (
+        gq_gen + 2 * modexp + gq_ver + _sym(costs, 1) + tx(m_new) + rx(m_un + m_un_unicast)
+    ) / 1000.0
+    table[("proposed", "join", "others")] = (
+        _sym(costs, 2) + rx(m_u1 + m_un)
+    ) / 1000.0
+
+    # ----------------------------------------------------------------- leave
+    bd_members = n - 1
+    bd_comm = tx(bd_r1 + bd_r2) + rx((bd_members - 1) * (bd_r1 + bd_r2))
+    bd_comp = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver
+    table[("bd-rerun", "leave", "remaining")] = (bd_comp + bd_comm) / 1000.0
+
+    remaining = n - 1
+    v = params.resolved_v(remaining)
+    leave_r1 = ident + elem + modn                 # U_j || z'_j || t'_j
+    leave_r2 = ident + elem + modn                 # U_i || X'_i || s̄_i
+    rx_odd = rx((v - 1) * leave_r1 + (remaining - 1) * leave_r2)
+    rx_even = rx(v * leave_r1 + (remaining - 1) * leave_r2)
+    table[("proposed", "leave", "odd")] = (
+        3 * modexp + gq_gen + gq_ver + tx(leave_r1 + leave_r2) + rx_odd
+    ) / 1000.0
+    table[("proposed", "leave", "even")] = (
+        2 * modexp + gq_gen + gq_ver + tx(leave_r2) + rx_even
+    ) / 1000.0
+
+    # ----------------------------------------------------------------- merge
+    bd_members = n + m
+    bd_comm = tx(bd_r1 + bd_r2) + rx((bd_members - 1) * (bd_r1 + bd_r2))
+    comp_a = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver + m * ecdsa_ver
+    comp_b = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver + n * ecdsa_ver
+    table[("bd-rerun", "merge", "group_a")] = (comp_a + bd_comm) / 1000.0
+    table[("bd-rerun", "merge", "group_b")] = (comp_b + bd_comm) / 1000.0
+
+    merge_r1 = ident + 2 * elem + gq_sig           # m'_1 = U1 || z̃_1 || z_n || σ'_1
+    merge_r2 = ident + 2 * sym_blob                # m''_1
+    merge_r3 = ident + sym_blob                    # m'''_1
+    controller = (
+        4 * modexp + gq_gen + gq_ver + _sym(costs, 4)
+        + tx(merge_r1 + merge_r2 + merge_r3) + rx(merge_r1 + merge_r2)
+    ) / 1000.0
+    table[("proposed", "merge", "controller_a")] = controller
+    table[("proposed", "merge", "controller_b")] = controller
+    table[("proposed", "merge", "others")] = (
+        _sym(costs, 2) + rx(merge_r2 + merge_r3)
+    ) / 1000.0
+
+    # ------------------------------------------------------------- partition
+    bd_members = n - ld
+    bd_comm = tx(bd_r1 + bd_r2) + rx((bd_members - 1) * (bd_r1 + bd_r2))
+    bd_comp = 3 * modexp + ecdsa_gen + (bd_members - 1) * ecdsa_ver
+    table[("bd-rerun", "partition", "remaining")] = (bd_comp + bd_comm) / 1000.0
+
+    remaining = n - ld
+    v = params.resolved_v(remaining)
+    rx_odd = rx((v - 1) * leave_r1 + (remaining - 1) * leave_r2)
+    rx_even = rx(v * leave_r1 + (remaining - 1) * leave_r2)
+    table[("proposed", "partition", "odd")] = (
+        3 * modexp + gq_gen + gq_ver + tx(leave_r1 + leave_r2) + rx_odd
+    ) / 1000.0
+    table[("proposed", "partition", "even")] = (
+        2 * modexp + gq_gen + gq_ver + tx(leave_r2) + rx_even
+    ) / 1000.0
+
+    return table

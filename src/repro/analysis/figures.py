@@ -1,0 +1,71 @@
+"""Figure 1 rendering: the energy-vs-group-size curves as text.
+
+The paper's Figure 1 plots total per-node energy (log scale) against group
+size for ten protocol/transceiver combinations.  This module turns the
+closed-form series from :func:`repro.analysis.energy_model.figure1_series`
+into (a) a CSV block and (b) a crude ASCII log-scale chart, so the benchmark
+output is self-contained and diffable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .energy_model import FIGURE1_GROUP_SIZES, figure1_series
+from .tables import to_csv
+
+__all__ = ["figure1_csv", "figure1_ascii", "figure1_report"]
+
+#: Mapping from our curve keys to the paper's curve letters in Figure 1.
+PAPER_CURVE_LETTERS: Dict[str, str] = {
+    "bd-ecdsa/100kbps": "a",
+    "bd-ecdsa/wlan": "b",
+    "bd-dsa/100kbps": "c",
+    "bd-dsa/wlan": "d",
+    "bd-sok/100kbps": "e",
+    "bd-sok/wlan": "f",
+    "ssn/100kbps": "g",
+    "ssn/wlan": "h",
+    "proposed/100kbps": "i",
+    "proposed/wlan": "j",
+}
+
+
+def figure1_csv(group_sizes: Sequence[int] = FIGURE1_GROUP_SIZES) -> str:
+    """CSV with one row per curve and one column per group size (Joules)."""
+    series = figure1_series(group_sizes)
+    headers = ["curve", "paper_label"] + [f"n={n}" for n in group_sizes]
+    rows = []
+    for key in sorted(series, key=lambda k: PAPER_CURVE_LETTERS.get(k, "z")):
+        rows.append([key, PAPER_CURVE_LETTERS.get(key, "?")] + list(series[key]))
+    return to_csv(headers, rows)
+
+
+def figure1_ascii(
+    group_sizes: Sequence[int] = FIGURE1_GROUP_SIZES,
+    width: int = 60,
+) -> str:
+    """A log-scale ASCII rendition of Figure 1 (one row per curve per n)."""
+    series = figure1_series(group_sizes)
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = math.log10(min(all_values)), math.log10(max(all_values))
+    span = max(hi - lo, 1e-9)
+    lines: List[str] = [
+        "Figure 1 — per-node energy (J), log scale "
+        f"[{10 ** lo:.3g} J ... {10 ** hi:.3g} J]"
+    ]
+    for index, n in enumerate(group_sizes):
+        lines.append(f"-- n = {n} --")
+        ranked = sorted(series.items(), key=lambda item: item[1][index])
+        for key, values in ranked:
+            value = values[index]
+            offset = int((math.log10(value) - lo) / span * (width - 1))
+            letter = PAPER_CURVE_LETTERS.get(key, "?")
+            lines.append(f"  ({letter}) {key:22s} {' ' * offset}* {value:10.4f} J")
+    return "\n".join(lines)
+
+
+def figure1_report(group_sizes: Sequence[int] = FIGURE1_GROUP_SIZES) -> str:
+    """CSV plus ASCII chart, ready to print from the benchmark harness."""
+    return figure1_csv(group_sizes) + "\n\n" + figure1_ascii(group_sizes)

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark and example output.
+
+No plotting library is assumed (the environment is offline); every table and
+figure the benchmarks regenerate is printed as aligned ASCII plus CSV so the
+numbers can be diffed against the paper and post-processed elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_value", "to_csv"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render one cell: floats get fixed precision, everything else ``str()``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 10 ** (-precision):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 6) -> str:
+    """Render rows as CSV text (no external dependency, no file I/O)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(format_value(cell, precision) for cell in row))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Baseline protocols the paper compares against: plain BD, sign-all
+authenticated BD (SOK / ECDSA / DSA), the SSN ID-based GKA, and BD re-execution
+as the dynamic-membership baseline."""
+
+from .authenticated_bd import SUPPORTED_SCHEMES, AuthenticatedBDProtocol
+from .bd import BurmesterDesmedtProtocol
+from .bd_dynamic import BDRerunDynamic
+from .ssn import SSNProtocol
+
+__all__ = [
+    "SUPPORTED_SCHEMES",
+    "AuthenticatedBDProtocol",
+    "BurmesterDesmedtProtocol",
+    "BDRerunDynamic",
+    "SSNProtocol",
+]

@@ -1,0 +1,126 @@
+"""The unauthenticated Burmester–Desmedt (BD) protocol.
+
+This is the substrate everything else builds on: two broadcast rounds
+(``z_i = g^{r_i}``, then ``X_i = (z_{i+1}/z_{i-1})^{r_i}``) followed by the
+telescoping key computation.  It provides no authentication — an active
+adversary can insert itself — which is exactly why the paper and all four of
+its baselines add signatures on top.  It is included both as the building
+block of the authenticated variants and as the cost floor in the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..exceptions import ParameterError, ProtocolError
+from ..mathutils.rand import DeterministicRNG
+from ..network.medium import BroadcastMedium
+from ..network.message import Message, group_element_part, identity_part
+from ..network.node import Node
+from ..network.topology import RingTopology
+from ..pki.identity import Identity
+from ..core.base import (
+    GroupState,
+    PartyState,
+    ProtocolResult,
+    SystemSetup,
+    compute_bd_key,
+    compute_bd_x_value,
+)
+
+__all__ = ["BurmesterDesmedtProtocol"]
+
+
+class BurmesterDesmedtProtocol:
+    """Plain BD group key agreement (no authentication)."""
+
+    name = "bd-unauthenticated"
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+
+    def run(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Run plain BD among ``members``."""
+        if len(members) < 2:
+            raise ParameterError("the GKA needs at least two members")
+        ring = RingTopology(members)
+        medium = medium or BroadcastMedium()
+        rng = DeterministicRNG(seed, label="bd")
+        group = self.setup.group
+
+        parties: Dict[str, PartyState] = {}
+        for identity in members:
+            key = self.setup.enroll(identity)
+            node = Node(identity)
+            medium.attach(node)
+            parties[identity.name] = PartyState(
+                identity=identity,
+                private_key=key,
+                rng=rng.fork(f"party/{identity.name}"),
+                node=node,
+            )
+
+        # Round 1: broadcast z_i.
+        for identity in ring.members:
+            party = parties[identity.name]
+            party.r = group.random_exponent(party.rng)
+            party.z = group.exp_g(party.r)
+            party.recorder.record_operation("modexp")
+            medium.send(
+                Message.broadcast(
+                    identity,
+                    "bd-round1",
+                    [identity_part(identity), group_element_part("z", party.z, group.element_bits)],
+                )
+            )
+
+        z_views: Dict[str, Dict[str, int]] = {}
+        for identity in ring.members:
+            party = parties[identity.name]
+            view = {identity.name: party.z}
+            for message in party.node.drain_inbox("bd-round1"):
+                sender: Identity = message.value("identity")  # type: ignore[assignment]
+                view[sender.name] = int(message.value("z"))
+            if len(view) != ring.size:
+                raise ProtocolError(f"{identity.name} missed Round 1 messages")
+            z_views[identity.name] = view
+
+        # Round 2: broadcast X_i.
+        for identity in ring.members:
+            party = parties[identity.name]
+            view = z_views[identity.name]
+            left = ring.left_neighbour(identity)
+            right = ring.right_neighbour(identity)
+            x_value = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
+            party.recorder.record_operation("modexp")
+            medium.send(
+                Message.broadcast(
+                    identity,
+                    "bd-round2",
+                    [identity_part(identity), group_element_part("X", x_value, group.element_bits)],
+                )
+            )
+
+        ring_names = [m.name for m in ring.members]
+        for identity in ring.members:
+            party = parties[identity.name]
+            view = z_views[identity.name]
+            x_table: Dict[str, int] = {}
+            for message in party.node.drain_inbox("bd-round2"):
+                sender: Identity = message.value("identity")  # type: ignore[assignment]
+                x_table[sender.name] = int(message.value("X"))
+            left = ring.left_neighbour(identity)
+            right = ring.right_neighbour(identity)
+            x_table[identity.name] = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
+            party.group_key = compute_bd_key(group, ring_names, identity.name, party.r, view, x_table)
+            party.recorder.record_operation("modexp")
+
+        state = GroupState(setup=self.setup, ring=ring, parties=parties)
+        state.group_key = parties[ring.controller().name].group_key
+        return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)

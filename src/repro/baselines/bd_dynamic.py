@@ -1,0 +1,100 @@
+"""The dynamic-membership baseline: re-executing authenticated BD.
+
+The original BD paper specifies no Join/Leave/Merge/Partition protocols, so —
+as the paper (following Amir et al. and Kim–Perrig–Tsudik) points out — the
+only way to handle a membership event is to re-run the whole (authenticated)
+GKA over the new member set.  Table 4 and Table 5 compare the proposed dynamic
+protocols against exactly this baseline, instantiated with the certificate-
+based ECDSA variant.
+
+:class:`BDRerunDynamic` wraps :class:`~repro.baselines.authenticated_bd.AuthenticatedBDProtocol`
+behind the same event API as the proposed dynamic protocols, so experiments
+can swap one for the other and compare the recorded per-node costs directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..exceptions import MembershipError, ParameterError
+from ..network.medium import BroadcastMedium
+from ..pki.identity import Identity
+from ..core.base import GroupState, ProtocolResult, SystemSetup
+from .authenticated_bd import AuthenticatedBDProtocol
+
+__all__ = ["BDRerunDynamic"]
+
+
+class BDRerunDynamic:
+    """Handle membership events by re-running authenticated BD from scratch."""
+
+    def __init__(self, setup: SystemSetup, scheme: str = "ecdsa") -> None:
+        self.setup = setup
+        self.scheme = scheme
+        self._protocol = AuthenticatedBDProtocol(setup, scheme)
+        self.name = f"bd-rerun-{scheme}"
+
+    # ------------------------------------------------------------------ events
+    def establish(self, members: Sequence[Identity], *, seed: object = 0) -> ProtocolResult:
+        """Initial key establishment (plain authenticated BD run)."""
+        return self._protocol.run(members, seed=seed)
+
+    def join(
+        self,
+        state: GroupState,
+        joining: Identity,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Re-run the GKA over the enlarged membership."""
+        if joining in state.ring:
+            raise MembershipError(f"{joining.name!r} is already a member")
+        members = state.ring.members + [joining]
+        return self._protocol.run(members, medium=medium, seed=seed)
+
+    def leave(
+        self,
+        state: GroupState,
+        leaving: Identity,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Re-run the GKA over the reduced membership."""
+        if leaving not in state.ring:
+            raise MembershipError(f"{leaving.name!r} is not a member")
+        members = [m for m in state.ring.members if m.name != leaving.name]
+        if len(members) < 2:
+            raise ParameterError("cannot shrink the group below two members")
+        return self._protocol.run(members, medium=medium, seed=seed)
+
+    def merge(
+        self,
+        state_a: GroupState,
+        state_b: GroupState,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Re-run the GKA over the union of both memberships."""
+        overlap = {m.name for m in state_a.ring} & {m.name for m in state_b.ring}
+        if overlap:
+            raise MembershipError(f"groups overlap: {sorted(overlap)}")
+        members: List[Identity] = state_a.ring.members + state_b.ring.members
+        return self._protocol.run(members, medium=medium, seed=seed)
+
+    def partition(
+        self,
+        state: GroupState,
+        leaving: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Re-run the GKA over the members that remain."""
+        leaving_names = {identity.name for identity in leaving}
+        members = [m for m in state.ring.members if m.name not in leaving_names]
+        if len(members) < 2:
+            raise ParameterError("cannot shrink the group below two members")
+        return self._protocol.run(members, medium=medium, seed=seed)

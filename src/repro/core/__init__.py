@@ -1,0 +1,35 @@
+"""The paper's contribution: the proposed ID-based authenticated GKA protocol,
+its four dynamic protocols (Join, Leave, Merge, Partition) and the high-level
+``GroupSession`` API."""
+
+from .base import (
+    GroupState,
+    PartyState,
+    ProtocolResult,
+    SystemSetup,
+    compute_bd_key,
+    compute_bd_x_value,
+    verify_x_product,
+)
+from .gka import ProposedGKAProtocol
+from .join import JoinProtocol
+from .leave import LeaveProtocol
+from .merge import MergeProtocol
+from .partition import PartitionProtocol
+from .session import GroupSession
+
+__all__ = [
+    "GroupState",
+    "PartyState",
+    "ProtocolResult",
+    "SystemSetup",
+    "compute_bd_key",
+    "compute_bd_x_value",
+    "verify_x_product",
+    "ProposedGKAProtocol",
+    "JoinProtocol",
+    "LeaveProtocol",
+    "MergeProtocol",
+    "PartitionProtocol",
+    "GroupSession",
+]

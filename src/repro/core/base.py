@@ -1,0 +1,312 @@
+"""Shared infrastructure for the group key agreement protocols.
+
+This module holds everything the proposed protocol (:mod:`repro.core.gka`),
+its four dynamic protocols and the baselines have in common:
+
+* :class:`SystemSetup` — the paper's Setup step: the PKG's GQ parameters, the
+  Schnorr group ``(p, q, g)``, the hash ``H`` and the identity registry;
+* :class:`PartyState` — one member's per-session state (its ephemeral
+  exponent ``r_i``, GQ commitment ``tau_i``, keying material ``z_i``, private
+  key, RNG, and the node that records its costs);
+* :class:`GroupState` — the collective state that survives between dynamic
+  membership events: the ring, the ``z``/``t`` tables, the current group key
+  and each member's :class:`PartyState`;
+* :class:`ProtocolResult` — what a protocol run returns (keys per member,
+  the new group state, the medium transcript);
+* the Burmester–Desmedt algebra: computing ``X_i`` values and the group key
+  from them, shared verbatim between the proposed protocol, the plain BD
+  baseline, and the Leave/Partition protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..energy.accounting import CostRecorder, DeviceProfile
+from ..exceptions import KeyConfirmationError, ParameterError, ProtocolError
+from ..groups.params import PAPER_GQ_SET, PAPER_SCHNORR_SET, get_gq_modulus, get_schnorr_group
+from ..groups.schnorr import SchnorrGroup
+from ..hashing.hashfuncs import HashFunction
+from ..mathutils.primes import RSAModulus, generate_rsa_modulus, generate_schnorr_parameters
+from ..mathutils.rand import DeterministicRNG
+from ..network.medium import BroadcastMedium
+from ..network.node import Node
+from ..network.topology import RingTopology
+from ..pki.identity import Identity, IdentityRegistry
+from ..pki.pkg import PrivateKeyGenerator
+from ..signatures.gq import GQParameters, GQPrivateKey
+
+__all__ = [
+    "SystemSetup",
+    "PartyState",
+    "GroupState",
+    "ProtocolResult",
+    "compute_bd_x_value",
+    "compute_bd_key",
+    "verify_x_product",
+]
+
+
+class SystemSetup:
+    """The paper's Setup: PKG parameters, the GKA group, and the hash function.
+
+    Construct either with explicit components or via the convenience
+    constructors :meth:`from_param_sets` (named, precomputed-seed parameter
+    sets — the normal path for tests and benchmarks) and :meth:`generate`
+    (fresh parameters of requested sizes).
+    """
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        pkg: PrivateKeyGenerator,
+        hash_function: Optional[HashFunction] = None,
+    ) -> None:
+        self.group = group
+        self.pkg = pkg
+        self.hash_function = hash_function or HashFunction(output_bits=160)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_param_sets(
+        cls,
+        schnorr_set: str = PAPER_SCHNORR_SET,
+        gq_set: str = PAPER_GQ_SET,
+        *,
+        hash_bits: int = 160,
+    ) -> "SystemSetup":
+        """Build a setup from named parameter sets (deterministic and cached)."""
+        hash_function = HashFunction(output_bits=hash_bits)
+        group = get_schnorr_group(schnorr_set)
+        pkg = PrivateKeyGenerator(get_gq_modulus(gq_set), hash_function)
+        return cls(group=group, pkg=pkg, hash_function=hash_function)
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        p_bits: int = 1024,
+        q_bits: int = 160,
+        modulus_bits: int = 1024,
+        hash_bits: int = 160,
+        seed: object = 0,
+    ) -> "SystemSetup":
+        """Generate fresh parameters of the requested sizes (paper defaults)."""
+        rng = DeterministicRNG(seed, label="system-setup")
+        hash_function = HashFunction(output_bits=hash_bits)
+        p, q, g = generate_schnorr_parameters(p_bits, q_bits, rng.fork("schnorr"))
+        group = SchnorrGroup(p=p, q=q, g=g)
+        modulus = generate_rsa_modulus(modulus_bits, rng.fork("gq"))
+        pkg = PrivateKeyGenerator(modulus, hash_function)
+        return cls(group=group, pkg=pkg, hash_function=hash_function)
+
+    # -------------------------------------------------------------- shortcuts
+    @property
+    def gq_params(self) -> GQParameters:
+        """The public GQ parameters ``(n, e, H)``."""
+        return self.pkg.params
+
+    @property
+    def registry(self) -> IdentityRegistry:
+        """The identity registry used by the PKG."""
+        return self.pkg.registry
+
+    def enroll(self, identity: Identity) -> GQPrivateKey:
+        """Register an identity and extract its GQ private key."""
+        return self.pkg.register_and_extract(identity)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"SystemSetup(group: {self.group.describe()}, "
+            f"GQ modulus: {self.gq_params.modulus_bits} bits, "
+            f"H output: {self.hash_function.output_bits} bits)"
+        )
+
+
+@dataclass
+class PartyState:
+    """Everything one group member holds during and between protocol runs."""
+
+    identity: Identity
+    private_key: GQPrivateKey
+    rng: DeterministicRNG
+    node: Node
+    #: ephemeral DH exponent r_i (refreshed by the protocols as the paper dictates)
+    r: Optional[int] = None
+    #: keying material z_i = g^{r_i}
+    z: Optional[int] = None
+    #: GQ commitment secret tau_i and public commitment t_i = tau_i^e
+    tau: Optional[int] = None
+    t: Optional[int] = None
+    #: the group key this member currently holds
+    group_key: Optional[int] = None
+
+    @property
+    def recorder(self) -> CostRecorder:
+        """The node's cost recorder (operations and bits)."""
+        return self.node.recorder
+
+    def require_ephemeral(self) -> None:
+        """Raise unless the member has a current exponent and keying material."""
+        if self.r is None or self.z is None:
+            raise ProtocolError(
+                f"{self.identity.name} has no ephemeral keying state; run the initial GKA first"
+            )
+
+
+@dataclass
+class GroupState:
+    """The collective state of an established group.
+
+    This is what the dynamic protocols transform: the ring ordering, the
+    publicly known ``z_i``/``t_i`` tables, the group key, and each member's
+    private :class:`PartyState`.
+    """
+
+    setup: SystemSetup
+    ring: RingTopology
+    parties: Dict[str, PartyState]
+    group_key: Optional[int] = None
+
+    # ------------------------------------------------------------- accessors
+    def party(self, identity: Identity) -> PartyState:
+        """The state of one member."""
+        try:
+            return self.parties[identity.name]
+        except KeyError:
+            raise ParameterError(f"{identity.name!r} is not a member of this group") from None
+
+    @property
+    def members(self) -> List[Identity]:
+        """Members in ring order."""
+        return self.ring.members
+
+    @property
+    def size(self) -> int:
+        """Group size ``n``."""
+        return self.ring.size
+
+    def z_table(self) -> Dict[str, int]:
+        """Current publicly-known keying material ``z_i`` per member name."""
+        return {name: state.z for name, state in self.parties.items() if state.z is not None}
+
+    def t_table(self) -> Dict[str, int]:
+        """Current publicly-known GQ commitments ``t_i`` per member name."""
+        return {name: state.t for name, state in self.parties.items() if state.t is not None}
+
+    def keys_by_member(self) -> Dict[str, Optional[int]]:
+        """The group key as held by each member (for agreement checks)."""
+        return {name: state.group_key for name, state in self.parties.items()}
+
+    def all_agree(self) -> bool:
+        """Whether every member holds the same, non-null group key."""
+        keys = list(self.keys_by_member().values())
+        return bool(keys) and all(k is not None and k == keys[0] for k in keys)
+
+    def recorders(self) -> Dict[str, CostRecorder]:
+        """Each member's cost recorder."""
+        return {name: state.recorder for name, state in self.parties.items()}
+
+    def reset_costs(self) -> None:
+        """Clear every member's recorder (used between experiment phases)."""
+        for state in self.parties.values():
+            state.node.reset_costs()
+
+
+@dataclass
+class ProtocolResult:
+    """What a protocol run returns."""
+
+    protocol: str
+    state: GroupState
+    medium: BroadcastMedium
+    rounds: int
+
+    @property
+    def group_key(self) -> Optional[int]:
+        """The agreed group key (``None`` if the members disagree)."""
+        keys = set(self.state.keys_by_member().values())
+        if len(keys) == 1:
+            return next(iter(keys))
+        return None
+
+    def all_agree(self) -> bool:
+        """Whether every member computed the same key."""
+        return self.state.all_agree()
+
+    def per_member_energy(self, device: DeviceProfile) -> Dict[str, float]:
+        """Total Joules per member under the given device profile."""
+        return {
+            name: device.total_j(recorder)
+            for name, recorder in self.state.recorders().items()
+        }
+
+    def total_messages(self) -> int:
+        """Number of messages placed on the medium during the run."""
+        return self.medium.total_messages()
+
+
+# ---------------------------------------------------------------------------
+# Burmester–Desmedt algebra
+# ---------------------------------------------------------------------------
+
+def compute_bd_x_value(
+    group: SchnorrGroup,
+    z_right: int,
+    z_left: int,
+    r_i: int,
+) -> int:
+    """The paper's equation (1): ``X_i = (z_{i+1} / z_{i-1})^{r_i} mod p``."""
+    return group.power(group.div(z_right, z_left), r_i)
+
+
+def compute_bd_key(
+    group: SchnorrGroup,
+    ring_names: Sequence[str],
+    member_name: str,
+    r_i: int,
+    z_table: Mapping[str, int],
+    x_table: Mapping[str, int],
+) -> int:
+    """The Burmester–Desmedt group key, computed from one member's view.
+
+    ``K = (z_{i-1})^{n·r_i} · X_i^{n-1} · X_{i+1}^{n-2} ··· X_{i+n-2}`` which
+    telescopes to ``prod_j g^{r_j r_{j+1}}`` (the paper's equation (3)).
+
+    Parameters
+    ----------
+    ring_names:
+        Member names in ring order (the *current* ring — for Leave/Partition
+        this is the ring with the departed members already removed).
+    member_name:
+        The member doing the computation.
+    r_i:
+        That member's current secret exponent.
+    z_table / x_table:
+        Publicly known ``z_j`` and ``X_j`` values keyed by member name.
+    """
+    n = len(ring_names)
+    if n < 2:
+        raise ParameterError("need at least two members to compute a group key")
+    try:
+        position = ring_names.index(member_name)
+    except ValueError:
+        raise ParameterError(f"{member_name!r} is not in the ring") from None
+    left_name = ring_names[(position - 1) % n]
+    key = group.power(z_table[left_name], n * r_i)
+    for offset in range(n - 1):
+        name = ring_names[(position + offset) % n]
+        exponent = n - 1 - offset
+        key = (key * group.power(x_table[name], exponent)) % group.p
+    return key
+
+
+def verify_x_product(group: SchnorrGroup, x_values: Sequence[int]) -> bool:
+    """Lemma 1: the product of all ``X_i`` must be 1 mod p.
+
+    Used by the proposed protocol (and Leave/Partition) to detect corrupted
+    Round 2 keying material before deriving a key from it.
+    """
+    return group.product(x_values) == 1

@@ -1,0 +1,252 @@
+"""The proposed ID-based authenticated group key agreement protocol (Section 4).
+
+Two broadcast rounds establish an authenticated Burmester–Desmedt group key
+among ``n`` users, with authentication provided by a *batch-verified* variant
+of the GQ ID-based signature scheme:
+
+* **Round 1** — each ``U_i`` draws ``r_i ∈ Z_q^*`` and ``tau_i ∈ Z_n^*`` and
+  broadcasts ``m_i = U_i || z_i || t_i`` where ``z_i = g^{r_i} mod p`` and
+  ``t_i = tau_i^e mod n``.
+* **Round 2** — each ``U_i`` computes ``X_i = (z_{i+1}/z_{i-1})^{r_i}``, the
+  aggregates ``Z = prod z_j mod p`` and ``T = prod t_j mod n``, the common
+  challenge ``c = H(T, Z)`` and its response ``s_i = tau_i · S_{U_i}^c mod n``,
+  then broadcasts ``m'_i = U_i || X_i || s_i`` (``U_1``, the trusted
+  controller, broadcasts last).
+* **Authentication & key computation** — each ``U_i`` checks the single batch
+  equation (2) ``c = H((prod s_j)^e · (prod H(U_j))^{-c}, Z)``, then Lemma 1
+  (``prod X_j = 1 mod p``), and finally derives
+  ``K = prod_j g^{r_j r_{j+1}} mod p``.
+
+On a failed check the paper has "all members retransmit again"; the
+implementation models that with a bounded retransmission loop so fault
+injection tests can exercise both the failure and the recovery path.
+
+Per-member cost accounting follows the paper's Table 1 vocabulary: three
+modular exponentiations (``z_i``, ``X_i`` and the final key derivation), one
+GQ signature generation and one (batch) GQ verification, two broadcast
+transmissions and ``2(n-1)`` receptions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import BatchVerificationError, KeyConfirmationError, ParameterError, ProtocolError
+from ..mathutils.modular import product_mod
+from ..mathutils.rand import DeterministicRNG
+from ..mathutils.serialization import int_to_bytes
+from ..network.medium import BroadcastMedium
+from ..network.message import Message, group_element_part, identity_part
+from ..network.node import Node
+from ..network.topology import RingTopology
+from ..pki.identity import Identity
+from ..signatures.gq import gq_batch_verify, gq_commitment, gq_response
+from .base import (
+    GroupState,
+    PartyState,
+    ProtocolResult,
+    SystemSetup,
+    compute_bd_key,
+    compute_bd_x_value,
+    verify_x_product,
+)
+
+__all__ = ["ProposedGKAProtocol", "TamperFunction"]
+
+#: Optional hook that may alter a message in flight (used by fault-injection
+#: tests).  It receives the message and the retransmission attempt number and
+#: returns the (possibly modified) message.
+TamperFunction = Callable[[Message, int], Message]
+
+
+class ProposedGKAProtocol:
+    """The paper's initial GKA protocol ("Our Prop. sch." column of Table 1)."""
+
+    name = "proposed-gka"
+
+    def __init__(self, setup: SystemSetup, *, max_retransmissions: int = 2) -> None:
+        self.setup = setup
+        self.max_retransmissions = max_retransmissions
+
+    # ------------------------------------------------------------------ setup
+    def _build_parties(
+        self,
+        members: Sequence[Identity],
+        medium: BroadcastMedium,
+        rng: DeterministicRNG,
+    ) -> Dict[str, PartyState]:
+        parties: Dict[str, PartyState] = {}
+        for identity in members:
+            key = self.setup.enroll(identity)
+            node = Node(identity)
+            medium.attach(node)
+            parties[identity.name] = PartyState(
+                identity=identity,
+                private_key=key,
+                rng=rng.fork(f"party/{identity.name}"),
+                node=node,
+            )
+        return parties
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+        tamper: Optional[TamperFunction] = None,
+    ) -> ProtocolResult:
+        """Execute the two-round protocol among ``members`` and return the result."""
+        if len(members) < 2:
+            raise ParameterError("the GKA needs at least two members")
+        ring = RingTopology(members)
+        medium = medium or BroadcastMedium()
+        rng = DeterministicRNG(seed, label="proposed-gka")
+        parties = self._build_parties(members, medium, rng)
+        group = self.setup.group
+        params = self.setup.gq_params
+
+        # ----------------------------------------------------------- Round 1
+        for identity in ring.members:
+            party = parties[identity.name]
+            party.r = group.random_exponent(party.rng)
+            party.z = group.exp_g(party.r)
+            party.recorder.record_operation("modexp")  # z_i = g^{r_i}
+            party.tau, party.t = gq_commitment(params, party.rng)
+            message = Message.broadcast(
+                identity,
+                "round1",
+                [
+                    identity_part(identity),
+                    group_element_part("z", party.z, group.element_bits),
+                    group_element_part("t", party.t, params.modulus_bits),
+                ],
+            )
+            medium.send(message)
+
+        # Everyone assembles its view of the z and t tables from Round 1.
+        views: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for identity in ring.members:
+            party = parties[identity.name]
+            z_view: Dict[str, int] = {identity.name: party.z}
+            t_view: Dict[str, int] = {identity.name: party.t}
+            for message in party.node.drain_inbox("round1"):
+                sender: Identity = message.value("identity")  # type: ignore[assignment]
+                z_view[sender.name] = int(message.value("z"))
+                t_view[sender.name] = int(message.value("t"))
+            if len(z_view) != ring.size:
+                raise ProtocolError(
+                    f"{identity.name} received {len(z_view) - 1} Round 1 messages, "
+                    f"expected {ring.size - 1}"
+                )
+            views[identity.name] = {"z": z_view, "t": t_view}
+
+        # -------------------------------------------------- Round 2 + verify
+        attempt = 0
+        while True:
+            agreed = self._round2_and_verify(ring, parties, views, medium, attempt, tamper)
+            if agreed:
+                break
+            attempt += 1
+            if attempt > self.max_retransmissions:
+                raise BatchVerificationError(
+                    "batch verification kept failing after "
+                    f"{self.max_retransmissions} retransmissions"
+                )
+
+        state = GroupState(setup=self.setup, ring=ring, parties=parties)
+        state.group_key = parties[ring.controller().name].group_key
+        return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+
+    # ----------------------------------------------------------- round 2 body
+    def _round2_and_verify(
+        self,
+        ring: RingTopology,
+        parties: Dict[str, PartyState],
+        views: Dict[str, Dict[str, Dict[str, int]]],
+        medium: BroadcastMedium,
+        attempt: int,
+        tamper: Optional[TamperFunction],
+    ) -> bool:
+        group = self.setup.group
+        params = self.setup.gq_params
+        round_label = f"round2.{attempt}"
+
+        # The paper designates U_1 as the trusted controller that broadcasts
+        # last; iterate U_2 ... U_n first, then U_1.
+        broadcast_order = ring.members[1:] + [ring.controller()]
+        challenges: Dict[str, int] = {}
+        aggregates: Dict[str, int] = {}
+
+        for identity in broadcast_order:
+            party = parties[identity.name]
+            view = views[identity.name]
+            z_view, t_view = view["z"], view["t"]
+            left = ring.left_neighbour(identity)
+            right = ring.right_neighbour(identity)
+            x_value = compute_bd_x_value(group, z_view[right.name], z_view[left.name], party.r)
+            party.recorder.record_operation("modexp")  # X_i
+            big_z = group.product(z_view[name] for name in sorted(z_view))
+            big_t = product_mod((t_view[name] for name in sorted(t_view)), params.n)
+            challenge = params.hash_function.challenge(int_to_bytes(big_t), int_to_bytes(big_z))
+            party.recorder.record_operation("hash")
+            response = gq_response(params, party.private_key, party.tau, challenge)
+            party.recorder.record_signature("gq", "gen")
+            challenges[identity.name] = challenge
+            aggregates[identity.name] = big_z
+            message = Message.broadcast(
+                identity,
+                round_label,
+                [
+                    identity_part(identity),
+                    group_element_part("X", x_value, group.element_bits),
+                    group_element_part("s", response, params.modulus_bits),
+                ],
+            )
+            if tamper is not None:
+                message = tamper(message, attempt)
+            medium.send(message)
+
+        # Authentication and key computation at every member.
+        all_verified = True
+        ring_names = [m.name for m in ring.members]
+        for identity in ring.members:
+            party = parties[identity.name]
+            view = views[identity.name]
+            x_table: Dict[str, int] = {}
+            s_table: Dict[str, int] = {}
+            for message in party.node.drain_inbox(round_label):
+                sender: Identity = message.value("identity")  # type: ignore[assignment]
+                x_table[sender.name] = int(message.value("X"))
+                s_table[sender.name] = int(message.value("s"))
+            # Re-add the member's own contribution (it does not receive its
+            # own broadcast).
+            own_left = ring.left_neighbour(identity)
+            own_right = ring.right_neighbour(identity)
+            x_table[identity.name] = compute_bd_x_value(
+                group, view["z"][own_right.name], view["z"][own_left.name], party.r
+            )
+            s_table[identity.name] = gq_response(
+                params, party.private_key, party.tau, challenges[identity.name]
+            )
+            ordered_identities = [parties[name].identity.to_bytes() for name in ring_names]
+            ordered_responses = [s_table[name] for name in ring_names]
+            batch_ok = gq_batch_verify(
+                params,
+                ordered_identities,
+                ordered_responses,
+                challenges[identity.name],
+                int_to_bytes(aggregates[identity.name]),
+            )
+            party.recorder.record_signature("gq", "ver")
+            if not batch_ok:
+                all_verified = False
+                continue
+            if not verify_x_product(group, [x_table[name] for name in ring_names]):
+                all_verified = False
+                continue
+            key = compute_bd_key(group, ring_names, identity.name, party.r, view["z"], x_table)
+            party.recorder.record_operation("modexp")  # (z_{i-1})^{n r_i}
+            party.group_key = key
+        return all_verified

@@ -1,0 +1,230 @@
+"""The authenticated Join protocol (Section 7 of the paper).
+
+A new user ``U_{n+1}`` joins an established group ``G = {U_1, ..., U_n}`` with
+current key ``K``.  Instead of re-running the full GKA, only three nodes do
+public-key work:
+
+* **Round 1** — ``U_{n+1}`` broadcasts its keying material ``z_{n+1}`` under a
+  full GQ signature.
+* **Round 2** — the controller ``U_1`` refreshes its exponent and computes the
+  partial key ``K* = K · (z_2 z_n)^{-r_1} (z_2 z_{n+1})^{r'_1}`` (equation 5),
+  distributing it to the old group under ``E_K``; the last user ``U_n``
+  computes the DH key ``K_{U_n U_{n+1}}`` it shares with the newcomer and
+  distributes it to the old group under ``E_K``, signing its message.
+* **Round 3** — ``U_n`` re-encrypts ``K*`` for the newcomer under the DH key.
+* **Key computation** — everyone (including the newcomer) forms
+  ``K' = K* · K_{U_n U_{n+1}}`` (equation 6).
+
+Every other member only performs symmetric decryptions and receptions — the
+source of the three-orders-of-magnitude energy gap over re-running BD that
+Table 5 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..exceptions import MembershipError, ParameterError, SignatureError
+from ..mathutils.rand import DeterministicRNG
+from ..mathutils.serialization import encode_fields, int_to_bytes
+from ..network.medium import BroadcastMedium
+from ..network.message import Message, envelope_part, group_element_part, identity_part, signature_part
+from ..network.node import Node
+from ..pki.identity import Identity
+from ..signatures.gq import GQSignatureScheme, gq_commitment
+from ..symmetric.authenc import SymmetricEnvelope
+from .base import GroupState, PartyState, ProtocolResult, SystemSetup
+
+__all__ = ["JoinProtocol"]
+
+
+class JoinProtocol:
+    """Admit one new member into an established group."""
+
+    name = "proposed-join"
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+        self._scheme = GQSignatureScheme(setup.gq_params)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        state: GroupState,
+        joining: Identity,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Run the Join protocol, returning the new group state.
+
+        ``state`` must be an agreed group (every member holds the same key);
+        the returned :class:`ProtocolResult` contains the enlarged group with
+        the new key ``K'``.
+        """
+        if not state.all_agree():
+            raise ParameterError("the current group has not agreed on a key; run the GKA first")
+        if joining in state.ring:
+            raise MembershipError(f"{joining.name!r} is already a group member")
+        group = self.setup.group
+        rng = DeterministicRNG(seed, label="join")
+        medium = medium or BroadcastMedium()
+        for member in state.ring.members:
+            medium.attach(state.party(member).node)
+
+        controller = state.ring.controller()          # U_1
+        last = state.ring.last()                      # U_n
+        u2 = state.ring.right_neighbour(controller)   # U_2
+        u1_state = state.party(controller)
+        un_state = state.party(last)
+        current_key = u1_state.group_key
+        assert current_key is not None
+
+        # The joining party: enrolled with the PKG, given a node on the medium.
+        new_key_pair = self.setup.enroll(joining)
+        new_node = Node(joining)
+        medium.attach(new_node)
+        new_party = PartyState(
+            identity=joining,
+            private_key=new_key_pair,
+            rng=rng.fork(f"party/{joining.name}"),
+            node=new_node,
+        )
+
+        # ----------------------------------------------------------- Round 1
+        new_party.r = group.random_exponent(new_party.rng)
+        new_party.z = group.exp_g(new_party.r)
+        new_party.recorder.record_operation("modexp")  # z_{n+1}
+        # The newcomer also publishes a GQ commitment t_{n+1} so that it can
+        # take part in later Leave/Partition re-keying exactly like a member
+        # that ran the initial GKA.  This is a small completion of the paper's
+        # Join round 1 (documented in DESIGN.md); its cost is folded into the
+        # GQ signature generation recorded below.
+        new_party.tau, new_party.t = gq_commitment(self.setup.gq_params, new_party.rng)
+        round1_body = encode_fields(
+            [joining.to_bytes(), int_to_bytes(new_party.z), int_to_bytes(new_party.t)]
+        )
+        sigma_new = self._scheme.sign(new_party.private_key, round1_body, new_party.rng)
+        new_party.recorder.record_signature("gq", "gen")
+        medium.send(
+            Message.broadcast(
+                joining,
+                "join-round1",
+                [
+                    identity_part(joining),
+                    group_element_part("z", new_party.z, group.element_bits),
+                    group_element_part("t", new_party.t, self.setup.gq_params.modulus_bits),
+                    signature_part(sigma_new),
+                ],
+            )
+        )
+
+        # ----------------------------------------------------------- Round 2
+        # (1) U_1: verify the newcomer, refresh r_1, compute and distribute K*.
+        if not self._scheme.verify(joining.to_bytes(), round1_body, sigma_new):
+            raise SignatureError("U_1 rejected the joining user's signature")
+        u1_state.recorder.record_signature("gq", "ver")
+        z2 = state.party(u2).z
+        zn = un_state.z
+        z_new = new_party.z
+        assert z2 is not None and zn is not None and u1_state.r is not None
+        new_r1 = group.random_exponent(u1_state.rng)
+        k_star = (
+            current_key
+            * group.power((z2 * zn) % group.p, -u1_state.r)
+            * group.power((z2 * z_new) % group.p, new_r1)
+        ) % group.p
+        u1_state.recorder.record_operation("modexp", 2)
+        group_envelope = SymmetricEnvelope(current_key)
+        sealed_kstar = group_envelope.seal_group_element(k_star, controller.to_bytes(), u1_state.rng)
+        u1_state.recorder.record_operation("symmetric")
+        medium.send(
+            Message.broadcast(
+                controller,
+                "join-round2-u1",
+                [identity_part(controller), envelope_part(sealed_kstar, "E_K(K*)")],
+            )
+        )
+
+        # (2) U_n: verify the newcomer, derive the DH key, distribute it signed.
+        if not self._scheme.verify(joining.to_bytes(), round1_body, sigma_new):
+            raise SignatureError("U_n rejected the joining user's signature")
+        un_state.recorder.record_signature("gq", "ver")
+        assert un_state.r is not None
+        dh_key = group.power(z_new, un_state.r)
+        un_state.recorder.record_operation("modexp")
+        sealed_dh = group_envelope.seal_group_element(dh_key, last.to_bytes(), un_state.rng)
+        un_state.recorder.record_operation("symmetric")
+        round2_body = encode_fields([sealed_dh.to_bytes(), int_to_bytes(zn)])
+        sigma_un = self._scheme.sign(un_state.private_key, round2_body, un_state.rng)
+        un_state.recorder.record_signature("gq", "gen")
+        medium.send(
+            Message.broadcast(
+                last,
+                "join-round2-un",
+                [
+                    identity_part(last),
+                    envelope_part(sealed_dh, "E_K(DH)"),
+                    group_element_part("z_n", zn, group.element_bits),
+                    signature_part(sigma_un),
+                ],
+            )
+        )
+
+        # ----------------------------------------------------------- Round 3
+        # (1) U_{n+1}: verify U_n's signature and derive the shared DH key.
+        if not self._scheme.verify(last.to_bytes(), round2_body, sigma_un):
+            raise SignatureError("the joining user rejected U_n's signature")
+        new_party.recorder.record_signature("gq", "ver")
+        dh_key_newcomer = group.power(zn, new_party.r)
+        new_party.recorder.record_operation("modexp")
+
+        # (2) U_n: recover K* from U_1's envelope and forward it to the newcomer.
+        k_star_at_un = group_envelope.open_group_element(sealed_kstar, controller.to_bytes())
+        un_state.recorder.record_operation("symmetric")
+        dh_envelope = SymmetricEnvelope(dh_key)
+        sealed_kstar_for_new = dh_envelope.seal_group_element(k_star_at_un, last.to_bytes(), un_state.rng)
+        un_state.recorder.record_operation("symmetric")
+        medium.send(
+            Message.unicast(
+                last,
+                joining,
+                "join-round3-un",
+                [identity_part(last), envelope_part(sealed_kstar_for_new, "E_DH(K*)")],
+            )
+        )
+
+        # ------------------------------------------------------ key derivation
+        new_key = (k_star * dh_key) % group.p
+
+        # The newcomer: open U_n's envelope under the DH key it derived itself.
+        newcomer_envelope = SymmetricEnvelope(dh_key_newcomer)
+        k_star_at_new = newcomer_envelope.open_group_element(sealed_kstar_for_new, last.to_bytes())
+        new_party.recorder.record_operation("symmetric")
+        new_party.group_key = (k_star_at_new * dh_key_newcomer) % group.p
+
+        # U_1: recover the DH key from U_n's envelope.
+        dh_at_u1 = group_envelope.open_group_element(sealed_dh, last.to_bytes())
+        u1_state.recorder.record_operation("symmetric")
+        u1_state.group_key = (k_star * dh_at_u1) % group.p
+        u1_state.r = new_r1
+        u1_state.z = None  # g^{r'_1} is never broadcast in the Join protocol
+
+        # U_n already holds both pieces.
+        un_state.group_key = (k_star_at_un * dh_key) % group.p
+
+        # Everyone else: two symmetric decryptions, no exponentiations.
+        for member in state.ring.members:
+            if member.name in (controller.name, last.name):
+                continue
+            bystander = state.party(member)
+            k_star_here = group_envelope.open_group_element(sealed_kstar, controller.to_bytes())
+            dh_here = group_envelope.open_group_element(sealed_dh, last.to_bytes())
+            bystander.recorder.record_operation("symmetric", 2)
+            bystander.group_key = (k_star_here * dh_here) % group.p
+
+        new_ring = state.ring.with_join(joining)
+        parties: Dict[str, PartyState] = dict(state.parties)
+        parties[joining.name] = new_party
+        new_state = GroupState(setup=self.setup, ring=new_ring, parties=parties, group_key=new_key)
+        return ProtocolResult(protocol=self.name, state=new_state, medium=medium, rounds=3)

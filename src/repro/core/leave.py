@@ -1,0 +1,48 @@
+"""The authenticated Leave protocol (Section 7 of the paper).
+
+When a single member ``U_l`` leaves, the remaining odd-indexed users refresh
+their exponents and GQ commitments (Round 1) and every remaining user
+broadcasts a fresh ``X'_i`` plus a batch-verifiable GQ response (Round 2);
+the new key is the Burmester–Desmedt key over the ring with ``U_l`` removed
+(equation 11).  The heavy lifting is shared with the Partition protocol and
+lives in :mod:`repro.core.rekey`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.medium import BroadcastMedium
+from ..pki.identity import Identity
+from .base import GroupState, ProtocolResult, SystemSetup
+from .rekey import run_departure_rekey
+
+__all__ = ["LeaveProtocol"]
+
+
+class LeaveProtocol:
+    """Remove one member and establish a key it cannot compute."""
+
+    name = "proposed-leave"
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+
+    def run(
+        self,
+        state: GroupState,
+        leaving: Identity,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Run the Leave protocol for ``leaving`` and return the new group state."""
+        return run_departure_rekey(
+            self.setup,
+            state,
+            [leaving],
+            protocol_name=self.name,
+            round_prefix="leave",
+            medium=medium,
+            seed=seed,
+        )

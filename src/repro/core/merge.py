@@ -1,0 +1,234 @@
+"""The authenticated Merge protocol (Section 7 of the paper).
+
+Two established groups ``G_A = {U_1..U_n}`` (key ``K_A``) and
+``G_B = {U_{n+1}..U_{n+m}}`` (key ``K_B``) combine into a single group.  Only
+the two controllers do public-key work:
+
+* **Round 1** — each controller refreshes its exponent and broadcasts its new
+  keying material together with its group's *last* member's ``z`` under a full
+  GQ signature (``m'_1 = U_1 || z̃_1 || z_n || σ'_1`` and symmetrically for
+  ``U_{n+1}``).
+* **Round 2** — each controller derives the controller-to-controller DH key
+  ``K_{U_1 U_{n+1}}``, folds its group's key into a partial key (equations 7
+  and 8), and broadcasts it encrypted both for its own group (under the old
+  group key) and for the peer controller (under the DH key).
+* **Round 3** — each controller re-encrypts the *other* group's partial key
+  for its own members.
+* **Key computation** — every member of the merged group forms
+  ``K' = K*_A · K*_B`` (equation 9).
+
+All non-controller members only perform symmetric decryptions, which is what
+drives their Table 5 energy down to fractions of a millijoule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..exceptions import MembershipError, ParameterError, SignatureError
+from ..mathutils.rand import DeterministicRNG
+from ..mathutils.serialization import encode_fields, int_to_bytes
+from ..network.medium import BroadcastMedium
+from ..network.message import Message, envelope_part, group_element_part, identity_part, signature_part
+from ..pki.identity import Identity
+from ..signatures.gq import GQSignatureScheme
+from ..symmetric.authenc import SymmetricEnvelope
+from .base import GroupState, PartyState, ProtocolResult, SystemSetup
+
+__all__ = ["MergeProtocol"]
+
+
+class MergeProtocol:
+    """Merge two established groups into one."""
+
+    name = "proposed-merge"
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+        self._scheme = GQSignatureScheme(setup.gq_params)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        state_a: GroupState,
+        state_b: GroupState,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Merge ``state_b`` into ``state_a`` and return the combined group state."""
+        if state_a.setup is not self.setup and state_a.setup.group is not self.setup.group:
+            raise ParameterError("group A was established under different system parameters")
+        if not state_a.all_agree() or not state_b.all_agree():
+            raise ParameterError("both groups must hold agreed keys before merging")
+        overlap = {m.name for m in state_a.ring} & {m.name for m in state_b.ring}
+        if overlap:
+            raise MembershipError(f"groups overlap: {sorted(overlap)}")
+
+        group = self.setup.group
+        rng = DeterministicRNG(seed, label="merge")
+        medium = medium or BroadcastMedium()
+        for member in list(state_a.ring) + list(state_b.ring):
+            source = state_a if member in state_a.ring else state_b
+            medium.attach(source.party(member).node)
+
+        ctrl_a = state_a.ring.controller()      # U_1
+        ctrl_b = state_b.ring.controller()      # U_{n+1}
+        last_a = state_a.ring.last()            # U_n
+        last_b = state_b.ring.last()            # U_{n+m}
+        second_a = state_a.ring.right_neighbour(ctrl_a)   # U_2
+        second_b = state_b.ring.right_neighbour(ctrl_b)   # U_{n+2}
+
+        a1 = state_a.party(ctrl_a)
+        b1 = state_b.party(ctrl_b)
+        key_a = a1.group_key
+        key_b = b1.group_key
+        assert key_a is not None and key_b is not None
+
+        # ----------------------------------------------------------- Round 1
+        def round1(controller_state: PartyState, controller: Identity, last_z: int, label: str):
+            new_r = group.random_exponent(controller_state.rng)
+            new_z = group.exp_g(new_r)
+            controller_state.recorder.record_operation("modexp")
+            body = encode_fields([controller.to_bytes(), int_to_bytes(new_z), int_to_bytes(last_z)])
+            signature = self._scheme.sign(controller_state.private_key, body, controller_state.rng)
+            controller_state.recorder.record_signature("gq", "gen")
+            medium.send(
+                Message.broadcast(
+                    controller,
+                    label,
+                    [
+                        identity_part(controller),
+                        group_element_part("z_tilde", new_z, group.element_bits),
+                        group_element_part("z_last", last_z, group.element_bits),
+                        signature_part(signature),
+                    ],
+                )
+            )
+            return new_r, new_z, body, signature
+
+        z_last_a = state_a.party(last_a).z
+        z_last_b = state_b.party(last_b).z
+        assert z_last_a is not None and z_last_b is not None
+        new_r_a, new_z_a, body_a, sig_a = round1(a1, ctrl_a, z_last_a, "merge-round1-a")
+        new_r_b, new_z_b, body_b, sig_b = round1(b1, ctrl_b, z_last_b, "merge-round1-b")
+
+        # ----------------------------------------------------------- Round 2
+        # Controller of A.
+        if not self._scheme.verify(ctrl_b.to_bytes(), body_b, sig_b):
+            raise SignatureError("U_1 rejected the signature of group B's controller")
+        a1.recorder.record_signature("gq", "ver")
+        dh_a_view = group.power(new_z_b, new_r_a)
+        a1.recorder.record_operation("modexp")
+        z2_a = state_a.party(second_a).z
+        assert z2_a is not None and a1.r is not None
+        k_star_a = (
+            key_a
+            * group.power((z2_a * z_last_a) % group.p, -a1.r)
+            * group.power((z2_a * z_last_b) % group.p, new_r_a)
+        ) % group.p
+        a1.recorder.record_operation("modexp", 2)
+        env_ka = SymmetricEnvelope(key_a)
+        env_dh_a = SymmetricEnvelope(dh_a_view)
+        sealed_ksa_for_a = env_ka.seal_group_element(k_star_a, ctrl_a.to_bytes(), a1.rng)
+        sealed_ksa_for_b1 = env_dh_a.seal_group_element(k_star_a, ctrl_a.to_bytes(), a1.rng)
+        a1.recorder.record_operation("symmetric", 2)
+        medium.send(
+            Message.broadcast(
+                ctrl_a,
+                "merge-round2-a",
+                [
+                    identity_part(ctrl_a),
+                    envelope_part(sealed_ksa_for_a, "E_KA(K*_A)"),
+                    envelope_part(sealed_ksa_for_b1, "E_DH(K*_A)"),
+                ],
+            )
+        )
+
+        # Controller of B.
+        if not self._scheme.verify(ctrl_a.to_bytes(), body_a, sig_a):
+            raise SignatureError("U_{n+1} rejected the signature of group A's controller")
+        b1.recorder.record_signature("gq", "ver")
+        dh_b_view = group.power(new_z_a, new_r_b)
+        b1.recorder.record_operation("modexp")
+        z2_b = state_b.party(second_b).z
+        assert z2_b is not None and b1.r is not None
+        k_star_b = (
+            key_b
+            * group.power((z_last_a * z2_b) % group.p, new_r_b)
+            * group.power((z2_b * z_last_b) % group.p, -b1.r)
+        ) % group.p
+        b1.recorder.record_operation("modexp", 2)
+        env_kb = SymmetricEnvelope(key_b)
+        env_dh_b = SymmetricEnvelope(dh_b_view)
+        sealed_ksb_for_b = env_kb.seal_group_element(k_star_b, ctrl_b.to_bytes(), b1.rng)
+        sealed_ksb_for_a1 = env_dh_b.seal_group_element(k_star_b, ctrl_b.to_bytes(), b1.rng)
+        b1.recorder.record_operation("symmetric", 2)
+        medium.send(
+            Message.broadcast(
+                ctrl_b,
+                "merge-round2-b",
+                [
+                    identity_part(ctrl_b),
+                    envelope_part(sealed_ksb_for_b, "E_KB(K*_B)"),
+                    envelope_part(sealed_ksb_for_a1, "E_DH(K*_B)"),
+                ],
+            )
+        )
+
+        # ----------------------------------------------------------- Round 3
+        # U_1 recovers K*_B via the controller DH key and relays it to group A.
+        k_star_b_at_a1 = env_dh_a.open_group_element(sealed_ksb_for_a1, ctrl_b.to_bytes())
+        a1.recorder.record_operation("symmetric")
+        sealed_ksb_for_a = env_ka.seal_group_element(k_star_b_at_a1, ctrl_a.to_bytes(), a1.rng)
+        a1.recorder.record_operation("symmetric")
+        medium.send(
+            Message.broadcast(
+                ctrl_a,
+                "merge-round3-a",
+                [identity_part(ctrl_a), envelope_part(sealed_ksb_for_a, "E_KA(K*_B)")],
+            )
+        )
+        # U_{n+1} recovers K*_A and relays it to group B.
+        k_star_a_at_b1 = env_dh_b.open_group_element(sealed_ksa_for_b1, ctrl_a.to_bytes())
+        b1.recorder.record_operation("symmetric")
+        sealed_ksa_for_b = env_kb.seal_group_element(k_star_a_at_b1, ctrl_b.to_bytes(), b1.rng)
+        b1.recorder.record_operation("symmetric")
+        medium.send(
+            Message.broadcast(
+                ctrl_b,
+                "merge-round3-b",
+                [identity_part(ctrl_b), envelope_part(sealed_ksa_for_b, "E_KB(K*_A)")],
+            )
+        )
+
+        # -------------------------------------------------- key computation
+        new_key = (k_star_a * k_star_b) % group.p
+        a1.group_key = (k_star_a * k_star_b_at_a1) % group.p
+        b1.group_key = (k_star_a_at_b1 * k_star_b) % group.p
+        a1.r, a1.z = new_r_a, new_z_a
+        b1.r, b1.z = new_r_b, new_z_b
+
+        for member in state_a.ring.members:
+            if member.name == ctrl_a.name:
+                continue
+            bystander = state_a.party(member)
+            ks_a = env_ka.open_group_element(sealed_ksa_for_a, ctrl_a.to_bytes())
+            ks_b = env_ka.open_group_element(sealed_ksb_for_a, ctrl_a.to_bytes())
+            bystander.recorder.record_operation("symmetric", 2)
+            bystander.group_key = (ks_a * ks_b) % group.p
+        for member in state_b.ring.members:
+            if member.name == ctrl_b.name:
+                continue
+            bystander = state_b.party(member)
+            ks_b = env_kb.open_group_element(sealed_ksb_for_b, ctrl_b.to_bytes())
+            ks_a = env_kb.open_group_element(sealed_ksa_for_b, ctrl_b.to_bytes())
+            bystander.recorder.record_operation("symmetric", 2)
+            bystander.group_key = (ks_a * ks_b) % group.p
+
+        merged_ring = state_a.ring.merged_with(state_b.ring)
+        parties: Dict[str, PartyState] = {}
+        parties.update(state_a.parties)
+        parties.update(state_b.parties)
+        new_state = GroupState(setup=self.setup, ring=merged_ring, parties=parties, group_key=new_key)
+        return ProtocolResult(protocol=self.name, state=new_state, medium=medium, rounds=3)

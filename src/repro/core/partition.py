@@ -1,0 +1,48 @@
+"""The authenticated Partition protocol (Section 7 of the paper).
+
+"A partition can be seen as multiple users leaving the group": the protocol is
+the Leave construction run once for the whole set ``L`` of departed users —
+remaining odd-indexed users refresh, everyone broadcasts fresh ``X'_i`` values
+with batch-verifiable GQ responses, and the new key is the BD key over the
+ring ``G' = G \\ L`` (equation 13).  Implementation shared with Leave in
+:mod:`repro.core.rekey`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..network.medium import BroadcastMedium
+from ..pki.identity import Identity
+from .base import GroupState, ProtocolResult, SystemSetup
+from .rekey import run_departure_rekey
+
+__all__ = ["PartitionProtocol"]
+
+
+class PartitionProtocol:
+    """Remove a set of members at once (network partition)."""
+
+    name = "proposed-partition"
+
+    def __init__(self, setup: SystemSetup) -> None:
+        self.setup = setup
+
+    def run(
+        self,
+        state: GroupState,
+        leaving: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Run the Partition protocol for the departing set and return the new state."""
+        return run_departure_rekey(
+            self.setup,
+            state,
+            list(leaving),
+            protocol_name=self.name,
+            round_prefix="partition",
+            medium=medium,
+            seed=seed,
+        )

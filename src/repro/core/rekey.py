@@ -1,0 +1,213 @@
+"""Shared re-keying machinery for the Leave and Partition protocols.
+
+The paper's Leave protocol and Partition protocol are the same two-round
+construction — Partition "can be seen as multiple users leaving the group" —
+so both are implemented here over a common core:
+
+* **Round 1** — every *remaining odd-indexed* user refreshes its exponent
+  (``r'_j``, ``z'_j = g^{r'_j}``) and its GQ commitment (``tau'_j``,
+  ``t'_j``) and broadcasts ``m_j = U_j || z'_j || t'_j``.
+* **Round 2** — every remaining user recomputes its ``X'_i`` over the *new*
+  ring (the departed members spliced out), forms the aggregates
+  ``Z̄ = prod z_i`` / ``T̄ = prod t_i`` (new values for refreshed users, the
+  stored ones for the rest), the common challenge ``c̄ = H(T̄, Z̄)`` and its
+  GQ response ``s̄_i``, and broadcasts ``m'_i = U_i || X'_i || s̄_i`` with the
+  controller ``U_1`` transmitting last.
+* **Verification & key computation** — the batch equation (10)/(12), Lemma 1
+  over the remaining ``X'_i``, then the Burmester–Desmedt key over the new
+  ring (equations (11)/(13)).
+
+Because the departed users' exponents no longer appear adjacent in the new
+ring and the odd-indexed users refreshed theirs, the departed users cannot
+compute the new key (key independence); the property-based tests check that
+the new key differs from the old one and from anything derivable with the
+departed state alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..exceptions import BatchVerificationError, KeyConfirmationError, MembershipError, ParameterError
+from ..mathutils.modular import product_mod
+from ..mathutils.rand import DeterministicRNG
+from ..mathutils.serialization import int_to_bytes
+from ..network.medium import BroadcastMedium
+from ..network.message import Message, group_element_part, identity_part
+from ..network.topology import RingTopology
+from ..pki.identity import Identity
+from ..signatures.gq import gq_batch_verify, gq_commitment, gq_response
+from .base import (
+    GroupState,
+    PartyState,
+    ProtocolResult,
+    SystemSetup,
+    compute_bd_key,
+    compute_bd_x_value,
+    verify_x_product,
+)
+
+__all__ = ["run_departure_rekey"]
+
+
+def run_departure_rekey(
+    setup: SystemSetup,
+    state: GroupState,
+    departing: Sequence[Identity],
+    *,
+    protocol_name: str,
+    round_prefix: str,
+    medium: Optional[BroadcastMedium] = None,
+    seed: object = 0,
+) -> ProtocolResult:
+    """Run the Leave/Partition re-keying for the given departing members."""
+    if not departing:
+        raise ParameterError("at least one member must depart")
+    if not state.all_agree():
+        raise ParameterError("the current group has not agreed on a key; run the GKA first")
+    departing_names: Set[str] = {identity.name for identity in departing}
+    for identity in departing:
+        if identity not in state.ring:
+            raise MembershipError(f"{identity.name!r} is not a group member")
+    if state.ring.controller().name in departing_names:
+        raise MembershipError("the controller U_1 cannot be removed by this protocol")
+
+    group = setup.group
+    params = setup.gq_params
+    rng = DeterministicRNG(seed, label=protocol_name)
+    medium = medium or BroadcastMedium()
+
+    old_ring = state.ring
+    new_ring = old_ring.with_partition([i for i in departing]) if len(departing) > 1 else old_ring.with_leave(departing[0])
+    remaining = new_ring.members
+    remaining_names = [m.name for m in remaining]
+
+    for member in remaining:
+        medium.attach(state.party(member).node)
+    # Departed members fall out of radio range: they are *not* attached, so
+    # they neither receive the re-keying traffic nor get charged for it.
+    for identity in departing:
+        medium.detach(identity)
+
+    # --------------------------------------------------------------- Round 1
+    refreshers = old_ring.odd_indexed(exclude=departing)
+    refresher_names = {identity.name for identity in refreshers}
+    for identity in refreshers:
+        party = state.party(identity)
+        party.r = group.random_exponent(party.rng)
+        party.z = group.exp_g(party.r)
+        party.recorder.record_operation("modexp")  # z'_j = g^{r'_j}
+        party.tau, party.t = gq_commitment(params, party.rng)
+        medium.send(
+            Message.broadcast(
+                identity,
+                f"{round_prefix}-round1",
+                [
+                    identity_part(identity),
+                    group_element_part("z", party.z, group.element_bits),
+                    group_element_part("t", party.t, params.modulus_bits),
+                ],
+            )
+        )
+
+    # Each remaining member's view of the (partially refreshed) z and t tables.
+    views: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for identity in remaining:
+        party = state.party(identity)
+        z_view: Dict[str, int] = {}
+        t_view: Dict[str, int] = {}
+        for message in party.node.drain_inbox(f"{round_prefix}-round1"):
+            sender: Identity = message.value("identity")  # type: ignore[assignment]
+            z_view[sender.name] = int(message.value("z"))
+            t_view[sender.name] = int(message.value("t"))
+        # Fill in its own (possibly refreshed) values and the stored values of
+        # members that did not refresh.
+        for other in remaining:
+            other_state = state.party(other)
+            other_state.require_ephemeral()
+            z_view.setdefault(other.name, other_state.z)  # type: ignore[arg-type]
+            if other_state.t is None:
+                raise KeyConfirmationError(
+                    f"{other.name} has no stored GQ commitment; cannot re-key"
+                )
+            t_view.setdefault(other.name, other_state.t)
+        views[identity.name] = {"z": z_view, "t": t_view}
+
+    # --------------------------------------------------------------- Round 2
+    broadcast_order = remaining[1:] + [new_ring.controller()]
+    challenges: Dict[str, int] = {}
+    aggregates: Dict[str, int] = {}
+    for identity in broadcast_order:
+        party = state.party(identity)
+        view = views[identity.name]
+        left = new_ring.left_neighbour(identity)
+        right = new_ring.right_neighbour(identity)
+        x_value = compute_bd_x_value(group, view["z"][right.name], view["z"][left.name], party.r)
+        party.recorder.record_operation("modexp")  # X'_i
+        big_z = group.product(view["z"][name] for name in sorted(view["z"]))
+        big_t = product_mod((view["t"][name] for name in sorted(view["t"])), params.n)
+        challenge = params.hash_function.challenge(int_to_bytes(big_t), int_to_bytes(big_z))
+        party.recorder.record_operation("hash")
+        response = gq_response(params, party.private_key, party.tau, challenge)
+        party.recorder.record_signature("gq", "gen")
+        challenges[identity.name] = challenge
+        aggregates[identity.name] = big_z
+        medium.send(
+            Message.broadcast(
+                identity,
+                f"{round_prefix}-round2",
+                [
+                    identity_part(identity),
+                    group_element_part("X", x_value, group.element_bits),
+                    group_element_part("s", response, params.modulus_bits),
+                ],
+            )
+        )
+
+    # ------------------------------------------- verification and key derivation
+    for identity in remaining:
+        party = state.party(identity)
+        view = views[identity.name]
+        x_table: Dict[str, int] = {}
+        s_table: Dict[str, int] = {}
+        for message in party.node.drain_inbox(f"{round_prefix}-round2"):
+            sender: Identity = message.value("identity")  # type: ignore[assignment]
+            x_table[sender.name] = int(message.value("X"))
+            s_table[sender.name] = int(message.value("s"))
+        left = new_ring.left_neighbour(identity)
+        right = new_ring.right_neighbour(identity)
+        x_table[identity.name] = compute_bd_x_value(
+            group, view["z"][right.name], view["z"][left.name], party.r
+        )
+        s_table[identity.name] = gq_response(
+            params, party.private_key, party.tau, challenges[identity.name]
+        )
+        ordered_identities = [state.party(state_member).identity.to_bytes() for state_member in remaining]
+        ordered_responses = [s_table[name] for name in remaining_names]
+        if not gq_batch_verify(
+            params,
+            ordered_identities,
+            ordered_responses,
+            challenges[identity.name],
+            int_to_bytes(aggregates[identity.name]),
+        ):
+            raise BatchVerificationError(
+                f"{identity.name} failed the batch verification during {protocol_name}"
+            )
+        party.recorder.record_signature("gq", "ver")
+        if not verify_x_product(group, [x_table[name] for name in remaining_names]):
+            raise KeyConfirmationError(
+                f"{identity.name} found prod X'_i != 1 during {protocol_name}"
+            )
+        key = compute_bd_key(group, remaining_names, identity.name, party.r, view["z"], x_table)
+        party.recorder.record_operation("modexp")
+        party.group_key = key
+
+    parties = {name: party for name, party in state.parties.items() if name not in departing_names}
+    new_state = GroupState(
+        setup=setup,
+        ring=new_ring,
+        parties=parties,
+        group_key=parties[new_ring.controller().name].group_key,
+    )
+    return ProtocolResult(protocol=protocol_name, state=new_state, medium=medium, rounds=2)

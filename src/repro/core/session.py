@@ -1,0 +1,171 @@
+"""High-level ``GroupSession`` API.
+
+This is the façade a downstream application uses: establish a group, apply
+membership events as they happen, pull symmetric keys for actual payload
+encryption, and ask for energy reports.  It wires together the initial GKA
+(:class:`~repro.core.gka.ProposedGKAProtocol`), the four dynamic protocols,
+the key-derivation function, and the energy accounting — everything the paper
+describes, behind half a dozen methods.
+
+Example
+-------
+>>> from repro import SystemSetup, GroupSession, Identity
+>>> setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+>>> members = [Identity(f"node-{i}") for i in range(5)]
+>>> session = GroupSession.establish(setup, members, seed=7)
+>>> session.all_agree()
+True
+>>> session.join(Identity("latecomer"))
+>>> session.leave(members[2])
+>>> len(session.members)
+5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..energy.accounting import DeviceProfile, EnergyBreakdown
+from ..exceptions import ProtocolError
+from ..hashing.kdf import derive_key_from_group_element
+from ..network.events import JoinEvent, LeaveEvent, MembershipEvent, MergeEvent, PartitionEvent
+from ..network.medium import BroadcastMedium
+from ..pki.identity import Identity
+from ..symmetric.authenc import SymmetricEnvelope
+from .base import GroupState, ProtocolResult, SystemSetup
+from .gka import ProposedGKAProtocol
+from .join import JoinProtocol
+from .leave import LeaveProtocol
+from .merge import MergeProtocol
+from .partition import PartitionProtocol
+
+__all__ = ["GroupSession"]
+
+
+class GroupSession:
+    """An established secure group with dynamic membership and energy reports."""
+
+    def __init__(self, setup: SystemSetup, state: GroupState, device: Optional[DeviceProfile] = None) -> None:
+        self.setup = setup
+        self.state = state
+        self.device = device or DeviceProfile()
+        self.history: List[ProtocolResult] = []
+        self._event_counter = 0
+
+    # ---------------------------------------------------------- construction
+    @classmethod
+    def establish(
+        cls,
+        setup: SystemSetup,
+        members: Sequence[Identity],
+        *,
+        device: Optional[DeviceProfile] = None,
+        seed: object = 0,
+        medium: Optional[BroadcastMedium] = None,
+    ) -> "GroupSession":
+        """Run the initial GKA among ``members`` and wrap the result in a session."""
+        result = ProposedGKAProtocol(setup).run(members, seed=seed, medium=medium)
+        session = cls(setup, result.state, device=device)
+        session.history.append(result)
+        return session
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def members(self) -> List[Identity]:
+        """Current members in ring order."""
+        return self.state.members
+
+    @property
+    def group_key(self) -> Optional[int]:
+        """The current group key (a group element), if agreed."""
+        keys = set(self.state.keys_by_member().values())
+        return next(iter(keys)) if len(keys) == 1 else None
+
+    def all_agree(self) -> bool:
+        """Whether every member currently holds the same key."""
+        return self.state.all_agree()
+
+    def symmetric_key(self, length: int = 16) -> bytes:
+        """A symmetric key derived from the group key (for payload encryption)."""
+        key = self.group_key
+        if key is None:
+            raise ProtocolError("the group has not agreed on a key")
+        return derive_key_from_group_element(key, length=length)
+
+    def envelope(self) -> SymmetricEnvelope:
+        """An authenticated-encryption envelope keyed with the current group key."""
+        key = self.group_key
+        if key is None:
+            raise ProtocolError("the group has not agreed on a key")
+        return SymmetricEnvelope(key)
+
+    # ---------------------------------------------------------------- events
+    def _next_seed(self, label: str) -> str:
+        self._event_counter += 1
+        return f"{label}/{self._event_counter}"
+
+    def join(self, joining: Identity, *, seed: object = None) -> ProtocolResult:
+        """Admit a new member (the paper's Join protocol)."""
+        result = JoinProtocol(self.setup).run(
+            self.state, joining, seed=seed if seed is not None else self._next_seed("join")
+        )
+        self.state = result.state
+        self.history.append(result)
+        return result
+
+    def leave(self, leaving: Identity, *, seed: object = None) -> ProtocolResult:
+        """Remove one member (the paper's Leave protocol)."""
+        result = LeaveProtocol(self.setup).run(
+            self.state, leaving, seed=seed if seed is not None else self._next_seed("leave")
+        )
+        self.state = result.state
+        self.history.append(result)
+        return result
+
+    def partition(self, leaving: Sequence[Identity], *, seed: object = None) -> ProtocolResult:
+        """Remove a set of members at once (the paper's Partition protocol)."""
+        result = PartitionProtocol(self.setup).run(
+            self.state, leaving, seed=seed if seed is not None else self._next_seed("partition")
+        )
+        self.state = result.state
+        self.history.append(result)
+        return result
+
+    def merge(self, other: "GroupSession", *, seed: object = None) -> ProtocolResult:
+        """Merge another session's group into this one (the paper's Merge protocol)."""
+        result = MergeProtocol(self.setup).run(
+            self.state, other.state, seed=seed if seed is not None else self._next_seed("merge")
+        )
+        self.state = result.state
+        self.history.append(result)
+        return result
+
+    def apply_event(self, event: MembershipEvent, *, seed: object = None) -> ProtocolResult:
+        """Apply a :mod:`repro.network.events` membership event to the session."""
+        if isinstance(event, JoinEvent):
+            return self.join(event.joining, seed=seed)
+        if isinstance(event, LeaveEvent):
+            return self.leave(event.leaving, seed=seed)
+        if isinstance(event, PartitionEvent):
+            return self.partition(list(event.leaving), seed=seed)
+        if isinstance(event, MergeEvent):
+            other_members = list(event.other_group)
+            other = GroupSession.establish(
+                self.setup, other_members, device=self.device, seed=self._next_seed("merge-other")
+            )
+            return self.merge(other, seed=seed)
+        raise ProtocolError(f"unknown membership event {event!r}")
+
+    # ---------------------------------------------------------------- energy
+    def energy_report(self, device: Optional[DeviceProfile] = None) -> Dict[str, EnergyBreakdown]:
+        """Cumulative per-member energy since the recorders were last reset."""
+        profile = device or self.device
+        return {name: profile.price(rec) for name, rec in self.state.recorders().items()}
+
+    def total_energy_j(self, device: Optional[DeviceProfile] = None) -> float:
+        """Total Joules consumed by the whole group so far."""
+        return sum(b.total_j for b in self.energy_report(device).values())
+
+    def reset_energy(self) -> None:
+        """Clear every member's cost recorder (start a new measurement window)."""
+        self.state.reset_costs()

@@ -1,0 +1,58 @@
+"""Energy model: CPU and transceiver devices, the paper's cost tables, and
+per-node energy accounting (Tables 2, 3, 5 and Figure 1)."""
+
+from .accounting import CostRecorder, DeviceProfile, EnergyBreakdown
+from .commcosts import PAPER_TABLE3_MJ, PAYLOAD_BITS, CommunicationCostTable
+from .cpu import (
+    CPUModel,
+    PENTIUM_III_1GHZ,
+    PENTIUM_III_450,
+    STRONGARM_SA1110,
+    energy_mj_from_time,
+    extrapolate_time_ms,
+    scale_by_clock,
+)
+from .opcosts import (
+    HASH_OP_MJ,
+    OperationCostTable,
+    PAPER_TABLE2_ENERGY_MJ,
+    PIII_1GHZ_TIMINGS_MS,
+    PIII_450_TIMINGS_MS,
+    SYMMETRIC_OP_MJ,
+    derive_piii450_timings,
+)
+from .transceiver import (
+    RADIO_100KBPS,
+    TRANSCEIVERS,
+    Transceiver,
+    WLAN_SPECTRUM24,
+    get_transceiver,
+)
+
+__all__ = [
+    "CostRecorder",
+    "DeviceProfile",
+    "EnergyBreakdown",
+    "PAPER_TABLE3_MJ",
+    "PAYLOAD_BITS",
+    "CommunicationCostTable",
+    "CPUModel",
+    "PENTIUM_III_1GHZ",
+    "PENTIUM_III_450",
+    "STRONGARM_SA1110",
+    "energy_mj_from_time",
+    "extrapolate_time_ms",
+    "scale_by_clock",
+    "HASH_OP_MJ",
+    "OperationCostTable",
+    "PAPER_TABLE2_ENERGY_MJ",
+    "PIII_1GHZ_TIMINGS_MS",
+    "PIII_450_TIMINGS_MS",
+    "SYMMETRIC_OP_MJ",
+    "derive_piii450_timings",
+    "RADIO_100KBPS",
+    "TRANSCEIVERS",
+    "Transceiver",
+    "WLAN_SPECTRUM24",
+    "get_transceiver",
+]

@@ -1,0 +1,157 @@
+"""Per-node cost recording and energy accounting.
+
+The protocol implementations do not know anything about Joules: while they
+run, each simulated party records *what it did* — named primitive operations
+("modexp", "sign_ver_gq", "symmetric", ...) and the exact number of bits it
+transmitted and received — into a :class:`CostRecorder`.  The energy layer
+then prices a recorder against a :class:`DeviceProfile` (CPU + transceiver +
+operation cost table) to produce the per-node Joule figures of Figure 1 and
+Table 5.
+
+Keeping the two concerns separate means the same protocol run can be priced
+for both transceivers (and any hypothetical device) without re-running any
+cryptography — which is also how the paper's own analysis works.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..exceptions import EnergyModelError
+from .cpu import CPUModel, STRONGARM_SA1110
+from .opcosts import OperationCostTable
+from .transceiver import Transceiver, WLAN_SPECTRUM24
+
+__all__ = ["CostRecorder", "DeviceProfile", "EnergyBreakdown"]
+
+
+class CostRecorder:
+    """Tally of primitive operations and transmitted/received bits for one node."""
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self.operations: Counter = Counter()
+        self.tx_bits: int = 0
+        self.rx_bits: int = 0
+        self.messages_sent: int = 0
+        self.messages_received: int = 0
+
+    # -------------------------------------------------------------- recording
+    def record_operation(self, name: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of the named primitive operation."""
+        if count < 0:
+            raise EnergyModelError("operation counts cannot be negative")
+        if count:
+            self.operations[name] += count
+
+    def record_signature(self, scheme: str, kind: str, count: int = 1) -> None:
+        """Record signature generations (``kind='gen'``) or verifications (``'ver'``)."""
+        if kind not in ("gen", "ver"):
+            raise EnergyModelError("kind must be 'gen' or 'ver'")
+        self.record_operation(f"sign_{kind}_{scheme}", count)
+
+    def record_tx(self, bits: int, messages: int = 1) -> None:
+        """Record a transmission of ``bits`` bits."""
+        if bits < 0:
+            raise EnergyModelError("bit counts cannot be negative")
+        self.tx_bits += bits
+        self.messages_sent += messages
+
+    def record_rx(self, bits: int, messages: int = 1) -> None:
+        """Record a reception of ``bits`` bits."""
+        if bits < 0:
+            raise EnergyModelError("bit counts cannot be negative")
+        self.rx_bits += bits
+        self.messages_received += messages
+
+    # --------------------------------------------------------------- algebra
+    def merge(self, other: "CostRecorder") -> "CostRecorder":
+        """Return a new recorder combining ``self`` and ``other``."""
+        merged = CostRecorder(owner=self.owner or other.owner)
+        merged.operations = self.operations + other.operations
+        merged.tx_bits = self.tx_bits + other.tx_bits
+        merged.rx_bits = self.rx_bits + other.rx_bits
+        merged.messages_sent = self.messages_sent + other.messages_sent
+        merged.messages_received = self.messages_received + other.messages_received
+        return merged
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict view of the tallies (used in reports and tests)."""
+        data = dict(self.operations)
+        data["tx_bits"] = self.tx_bits
+        data["rx_bits"] = self.rx_bits
+        data["messages_sent"] = self.messages_sent
+        data["messages_received"] = self.messages_received
+        return data
+
+    def operation_count(self, name: str) -> int:
+        """Number of recorded occurrences of ``name``."""
+        return self.operations.get(name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostRecorder(owner={self.owner!r}, ops={dict(self.operations)}, "
+            f"tx_bits={self.tx_bits}, rx_bits={self.rx_bits})"
+        )
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one node, split into computation / transmission / reception (Joules)."""
+
+    computation_j: float
+    tx_j: float
+    rx_j: float
+    per_operation_j: Mapping[str, float]
+
+    @property
+    def communication_j(self) -> float:
+        """Transmit plus receive energy."""
+        return self.tx_j + self.rx_j
+
+    @property
+    def total_j(self) -> float:
+        """Total energy consumed by the node."""
+        return self.computation_j + self.tx_j + self.rx_j
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A node's hardware: CPU model, transceiver and the operation cost table.
+
+    The paper's headline configuration is the StrongARM SA-1110 with either the
+    100 kbps radio or the Spectrum24 WLAN card; the default profile uses the
+    WLAN card (the configuration of Table 5).
+    """
+
+    cpu: CPUModel = STRONGARM_SA1110
+    transceiver: Transceiver = WLAN_SPECTRUM24
+    op_costs: OperationCostTable = field(default_factory=OperationCostTable)
+
+    def with_transceiver(self, transceiver: Transceiver) -> "DeviceProfile":
+        """A copy of this profile with a different radio (same CPU and cost table)."""
+        return DeviceProfile(cpu=self.cpu, transceiver=transceiver, op_costs=self.op_costs)
+
+    # ------------------------------------------------------------------ price
+    def price(self, recorder: CostRecorder) -> EnergyBreakdown:
+        """Price a node's recorded costs into Joules."""
+        per_operation: Dict[str, float] = {}
+        computation_mj = 0.0
+        for operation, count in recorder.operations.items():
+            energy = self.op_costs.energy_mj(operation) * count
+            per_operation[operation] = energy / 1000.0
+            computation_mj += energy
+        tx_mj = self.transceiver.tx_energy_mj(recorder.tx_bits)
+        rx_mj = self.transceiver.rx_energy_mj(recorder.rx_bits)
+        return EnergyBreakdown(
+            computation_j=computation_mj / 1000.0,
+            tx_j=tx_mj / 1000.0,
+            rx_j=rx_mj / 1000.0,
+            per_operation_j=per_operation,
+        )
+
+    def total_j(self, recorder: CostRecorder) -> float:
+        """Total energy of one node in Joules (shortcut over :meth:`price`)."""
+        return self.price(recorder).total_j

@@ -1,0 +1,119 @@
+"""Communication-cost table (Table 3 of the paper).
+
+Every row of Table 3 is ``payload bits x per-bit cost`` for the two
+transceivers.  This module names the payloads the paper tabulates
+(certificates and signatures of the four schemes) and regenerates the table
+from the :class:`~repro.energy.transceiver.Transceiver` per-bit constants, so
+the benchmark harness can compare the derived values to the paper's printed
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..exceptions import EnergyModelError
+from ..pki.ca import DSA_CERT_BYTES, ECDSA_CERT_BYTES
+from .transceiver import RADIO_100KBPS, Transceiver, WLAN_SPECTRUM24
+
+__all__ = [
+    "PAYLOAD_BITS",
+    "PAPER_TABLE3_MJ",
+    "CommunicationCostTable",
+]
+
+
+#: Wire sizes (bits) of the payloads tabulated in Table 3.
+PAYLOAD_BITS: Dict[str, int] = {
+    "dsa_certificate": 8 * DSA_CERT_BYTES,      # 263 bytes
+    "ecdsa_certificate": 8 * ECDSA_CERT_BYTES,  # 86 bytes
+    "dsa_signature": 2 * 160,                   # (r, s), 160 bits each
+    "ecdsa_signature": 2 * 160,                 # (r, s), 160 bits each
+    "sok_signature": 2 * 194,                   # (S1, S2), 194 bits each
+    "gq_signature": 1024 + 160,                 # s = 1024 bits, c = 160 bits
+}
+
+#: The paper's printed Table 3 values, in mJ, keyed by (payload, direction,
+#: transceiver).  Used as the reference column of the benchmark output.
+PAPER_TABLE3_MJ: Dict[Tuple[str, str, str], float] = {
+    ("dsa_certificate", "tx", "100kbps"): 22.72,
+    ("dsa_certificate", "rx", "100kbps"): 15.8,
+    ("dsa_certificate", "tx", "wlan"): 1.38,
+    ("dsa_certificate", "rx", "wlan"): 0.64,
+    ("ecdsa_certificate", "tx", "100kbps"): 7.43,
+    ("ecdsa_certificate", "rx", "100kbps"): 5.17,
+    ("ecdsa_certificate", "tx", "wlan"): 0.45,
+    ("ecdsa_certificate", "rx", "wlan"): 0.21,
+    ("dsa_signature", "tx", "100kbps"): 3.46,
+    ("dsa_signature", "rx", "100kbps"): 2.40,
+    ("dsa_signature", "tx", "wlan"): 0.21,
+    ("dsa_signature", "rx", "wlan"): 0.1,
+    ("ecdsa_signature", "tx", "100kbps"): 3.46,
+    ("ecdsa_signature", "rx", "100kbps"): 2.40,
+    ("ecdsa_signature", "tx", "wlan"): 0.21,
+    ("ecdsa_signature", "rx", "wlan"): 0.1,
+    ("sok_signature", "tx", "100kbps"): 4.19,
+    ("sok_signature", "rx", "100kbps"): 2.91,
+    ("sok_signature", "tx", "wlan"): 0.26,
+    ("sok_signature", "rx", "wlan"): 0.12,
+    ("gq_signature", "tx", "100kbps"): 12.79,
+    ("gq_signature", "rx", "100kbps"): 8.89,
+    ("gq_signature", "tx", "wlan"): 0.78,
+    ("gq_signature", "rx", "wlan"): 0.36,
+}
+
+
+@dataclass(frozen=True)
+class CommunicationCostTable:
+    """Regenerates Table 3 from the transceiver per-bit constants."""
+
+    radio: Transceiver = RADIO_100KBPS
+    wlan: Transceiver = WLAN_SPECTRUM24
+    payload_bits: Mapping[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.payload_bits is None:
+            object.__setattr__(self, "payload_bits", dict(PAYLOAD_BITS))
+
+    def _transceiver(self, name: str) -> Transceiver:
+        if name == "100kbps":
+            return self.radio
+        if name == "wlan":
+            return self.wlan
+        raise EnergyModelError(f"unknown transceiver column {name!r}")
+
+    def cost_mj(self, payload: str, direction: str, transceiver: str) -> float:
+        """Energy (mJ) of sending/receiving one named payload."""
+        try:
+            bits = self.payload_bits[payload]
+        except KeyError:
+            raise EnergyModelError(
+                f"unknown payload {payload!r}; known: {', '.join(sorted(self.payload_bits))}"
+            ) from None
+        device = self._transceiver(transceiver)
+        if direction == "tx":
+            return device.tx_energy_mj(bits)
+        if direction == "rx":
+            return device.rx_energy_mj(bits)
+        raise EnergyModelError("direction must be 'tx' or 'rx'")
+
+    def as_table(self) -> Dict[Tuple[str, str, str], float]:
+        """All (payload, direction, transceiver) combinations, in mJ."""
+        table: Dict[Tuple[str, str, str], float] = {}
+        for payload in self.payload_bits:
+            for direction in ("tx", "rx"):
+                for transceiver in ("100kbps", "wlan"):
+                    table[(payload, direction, transceiver)] = self.cost_mj(
+                        payload, direction, transceiver
+                    )
+        return table
+
+    def per_bit_rows(self) -> Dict[Tuple[str, str], float]:
+        """The per-bit header rows of Table 3 (uJ per bit)."""
+        return {
+            ("tx", "100kbps"): self.radio.tx_uj_per_bit,
+            ("rx", "100kbps"): self.radio.rx_uj_per_bit,
+            ("tx", "wlan"): self.wlan.tx_uj_per_bit,
+            ("rx", "wlan"): self.wlan.rx_uj_per_bit,
+        }

@@ -1,0 +1,187 @@
+"""The computational-operation cost table (Table 2 of the paper).
+
+The table is *derived*, not transcribed: we start from
+
+* the StrongARM modular-exponentiation energy (9.1 mJ, from Carman et al.),
+* MIRACL timings on the Pentium III 450 MHz for modexp (8.8 ms), scalar
+  multiplication (8.5 ms) and the four signature schemes,
+* Pentium III 1 GHz timings for the Tate pairing (20 ms) and the IBE
+  encrypt/decrypt pair (35 ms / 27 ms) whose difference yields the
+  MapToPoint timing (8 ms),
+
+and apply the paper's two scaling rules (clock-ratio scaling between the two
+Pentium machines, and equation (4) onto the StrongARM).  The reproduction of
+Table 2 in ``benchmarks/test_table2_comp_energy.py`` checks the derived
+numbers against the values printed in the paper.
+
+Symmetric-key and hash operations are priced with small constants taken from
+the same sources the paper cites (Carman et al. report AES-class encryption
+around three orders of magnitude below a modular exponentiation); the paper
+treats them as negligible and so do we, but they are carried explicitly so the
+dynamic-protocol totals include them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..exceptions import EnergyModelError
+from .cpu import (
+    CPUModel,
+    PENTIUM_III_1GHZ,
+    PENTIUM_III_450,
+    STRONGARM_SA1110,
+    extrapolate_time_ms,
+    scale_by_clock,
+)
+
+__all__ = [
+    "OperationCostTable",
+    "PIII_450_TIMINGS_MS",
+    "PIII_1GHZ_TIMINGS_MS",
+    "derive_piii450_timings",
+    "PAPER_TABLE2_ENERGY_MJ",
+    "SYMMETRIC_OP_MJ",
+    "HASH_OP_MJ",
+]
+
+
+#: Primitive timings measured (MIRACL) directly on the Pentium III 450 MHz, in ms.
+PIII_450_TIMINGS_MS: Dict[str, float] = {
+    "modexp": 8.8,
+    "scalar_mul": 8.5,
+    "sign_gen_dsa": 8.8,
+    "sign_gen_ecdsa": 8.5,
+    "sign_gen_sok": 17.0,
+    "sign_gen_gq": 17.6,
+    "sign_ver_dsa": 10.75,
+    "sign_ver_ecdsa": 10.5,
+    "sign_ver_sok": 133.2,
+    "sign_ver_gq": 17.6,
+}
+
+#: Timings only available on the Pentium III 1 GHz, in ms.
+PIII_1GHZ_TIMINGS_MS: Dict[str, float] = {
+    "tate_pairing": 20.0,
+    "ibe_encrypt": 35.0,
+    "ibe_decrypt": 27.0,
+}
+
+#: The energy column of the paper's Table 2 (mJ on the StrongARM), used by the
+#: benchmark harness as the "paper reported" reference values.
+PAPER_TABLE2_ENERGY_MJ: Dict[str, float] = {
+    "modexp": 9.1,
+    "map_to_point": 18.4,
+    "tate_pairing": 47.0,
+    "scalar_mul": 8.8,
+    "sign_gen_dsa": 9.1,
+    "sign_gen_ecdsa": 8.8,
+    "sign_gen_sok": 17.6,
+    "sign_gen_gq": 18.2,
+    "sign_ver_dsa": 11.1,
+    "sign_ver_ecdsa": 10.9,
+    "sign_ver_sok": 137.7,
+    "sign_ver_gq": 18.2,
+}
+
+#: Cost of one symmetric encryption/decryption of a short (<=2 kbit) message.
+#: Carman et al. measure AES-class work at ~1-2 uJ/byte on the StrongARM, so a
+#: ~150-byte key-update blob lands in the tens of micro-joules.  We charge a
+#: flat 0.05 mJ per operation — visible in the totals, negligible in the
+#: ordering, exactly as the paper assumes ("orders of magnitude lower than
+#: modular exponentiations").
+SYMMETRIC_OP_MJ = 0.05
+
+#: Cost of one hash invocation (SHA-1/SHA-256 class) on the StrongARM; again
+#: orders of magnitude below a modular exponentiation.
+HASH_OP_MJ = 0.05
+
+
+def derive_piii450_timings() -> Dict[str, float]:
+    """Derive the full Pentium III 450 MHz timing table.
+
+    Combines the directly measured values with the 1 GHz-scaled Tate pairing
+    and the MapToPoint timing obtained from the IBE encrypt/decrypt difference
+    (35 - 27 = 8 ms on the 1 GHz machine).
+    """
+    timings = dict(PIII_450_TIMINGS_MS)
+    timings["tate_pairing"] = scale_by_clock(
+        PIII_1GHZ_TIMINGS_MS["tate_pairing"], PENTIUM_III_1GHZ, PENTIUM_III_450
+    )
+    map_to_point_1ghz = PIII_1GHZ_TIMINGS_MS["ibe_encrypt"] - PIII_1GHZ_TIMINGS_MS["ibe_decrypt"]
+    timings["map_to_point"] = scale_by_clock(map_to_point_1ghz, PENTIUM_III_1GHZ, PENTIUM_III_450)
+    return timings
+
+
+@dataclass(frozen=True)
+class OperationCostTable:
+    """Per-operation timing and energy on a target CPU (Table 2).
+
+    Attributes
+    ----------
+    cpu:
+        The device whose energy is being modelled (StrongARM by default).
+    reference_timings_ms:
+        Primitive timings on the Pentium III 450 MHz reference machine.
+    symmetric_op_mj / hash_op_mj:
+        Flat costs for symmetric-crypto and hash operations (see module docs).
+    """
+
+    cpu: CPUModel = STRONGARM_SA1110
+    reference_timings_ms: Mapping[str, float] = field(default_factory=derive_piii450_timings)
+    symmetric_op_mj: float = SYMMETRIC_OP_MJ
+    hash_op_mj: float = HASH_OP_MJ
+
+    # ------------------------------------------------------------------ core
+    def known_operations(self) -> tuple:
+        """All operation names the table can price."""
+        return tuple(sorted(self.reference_timings_ms)) + ("symmetric", "hash")
+
+    def time_ms(self, operation: str) -> float:
+        """Time of one ``operation`` on the target CPU (paper eq. 4)."""
+        if operation in ("symmetric", "hash"):
+            mj = self.symmetric_op_mj if operation == "symmetric" else self.hash_op_mj
+            return mj / self.cpu.power_mw * 1000.0
+        try:
+            reference = self.reference_timings_ms[operation]
+        except KeyError:
+            raise EnergyModelError(
+                f"unknown operation {operation!r}; known: {', '.join(self.known_operations())}"
+            ) from None
+        return extrapolate_time_ms(reference, PENTIUM_III_450, self.cpu)
+
+    def energy_mj(self, operation: str) -> float:
+        """Energy of one ``operation`` on the target CPU, in mJ."""
+        if operation == "symmetric":
+            return self.symmetric_op_mj
+        if operation == "hash":
+            return self.hash_op_mj
+        return self.cpu.energy_mj(self.time_ms(operation))
+
+    def energy_j(self, operation: str, count: int = 1) -> float:
+        """Energy of ``count`` repetitions of ``operation``, in Joules."""
+        if count < 0:
+            raise EnergyModelError("operation counts cannot be negative")
+        return self.energy_mj(operation) * count / 1000.0
+
+    # ------------------------------------------------------------ table view
+    def as_table(self) -> Dict[str, Dict[str, float]]:
+        """Return the full Table 2 view: energy (mJ), StrongARM ms, P-III 450 ms."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for operation in sorted(self.reference_timings_ms):
+            rows[operation] = {
+                "strongarm_mj": self.energy_mj(operation),
+                "strongarm_ms": self.time_ms(operation),
+                "piii450_ms": self.reference_timings_ms[operation],
+            }
+        return rows
+
+    def signature_operation(self, scheme: str, kind: str) -> str:
+        """Map a scheme name + ``"gen"``/``"ver"`` to the table's operation name."""
+        if kind not in ("gen", "ver"):
+            raise EnergyModelError("kind must be 'gen' or 'ver'")
+        operation = f"sign_{kind}_{scheme}"
+        if operation not in self.reference_timings_ms:
+            raise EnergyModelError(f"no cost entry for signature scheme {scheme!r}")
+        return operation

@@ -1,0 +1,101 @@
+"""Communication transceiver models (Table 3 of the paper).
+
+Two radios are modelled, exactly as in the paper:
+
+* a generic **100 kbps radio transceiver module** (per-bit costs from Carman
+  et al. [3] and Hodjat & Verbauwhede [6]): 10.8 uJ/bit transmit,
+  7.51 uJ/bit receive;
+* the **IEEE 802.11 Spectrum24 LA-4121 WLAN card** (Karri & Mishra [8]):
+  0.66 uJ/bit transmit, 0.31 uJ/bit receive.
+
+Every row of the paper's Table 3 is just ``bits x per-bit cost``; the
+:class:`Transceiver` exposes that computation and the named devices carry the
+paper's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import EnergyModelError
+
+__all__ = ["Transceiver", "RADIO_100KBPS", "WLAN_SPECTRUM24", "TRANSCEIVERS", "get_transceiver"]
+
+
+@dataclass(frozen=True)
+class Transceiver:
+    """A radio with per-bit transmission and reception energy costs.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name.
+    tx_uj_per_bit:
+        Transmit energy in micro-joules per bit.
+    rx_uj_per_bit:
+        Receive energy in micro-joules per bit.
+    bitrate_bps:
+        Nominal bitrate; used only for latency estimates in reports, never for
+        energy (the paper charges energy per bit, not per second).
+    """
+
+    name: str
+    tx_uj_per_bit: float
+    rx_uj_per_bit: float
+    bitrate_bps: float
+
+    def __post_init__(self) -> None:
+        if self.tx_uj_per_bit < 0 or self.rx_uj_per_bit < 0:
+            raise EnergyModelError("per-bit energies must be non-negative")
+
+    # --------------------------------------------------------------- energy
+    def tx_energy_mj(self, bits: int | float) -> float:
+        """Energy (mJ) to transmit ``bits`` bits."""
+        if bits < 0:
+            raise EnergyModelError("bit counts cannot be negative")
+        return self.tx_uj_per_bit * bits / 1000.0
+
+    def rx_energy_mj(self, bits: int | float) -> float:
+        """Energy (mJ) to receive ``bits`` bits."""
+        if bits < 0:
+            raise EnergyModelError("bit counts cannot be negative")
+        return self.rx_uj_per_bit * bits / 1000.0
+
+    # --------------------------------------------------------------- timing
+    def airtime_ms(self, bits: int | float) -> float:
+        """Nominal time on air for ``bits`` bits (reporting only)."""
+        if self.bitrate_bps <= 0:
+            raise EnergyModelError("bitrate must be positive for airtime estimates")
+        return bits / self.bitrate_bps * 1000.0
+
+
+#: The low-rate sensor-style radio of the paper (columns "(a)(c)(e)(g)(i)" of Figure 1).
+RADIO_100KBPS = Transceiver(
+    name="100kbps radio transceiver",
+    tx_uj_per_bit=10.8,
+    rx_uj_per_bit=7.51,
+    bitrate_bps=100_000.0,
+)
+
+#: The IEEE 802.11 Spectrum24 LA-4121 WLAN card (columns "(b)(d)(f)(h)(j)").
+WLAN_SPECTRUM24 = Transceiver(
+    name="IEEE 802.11 Spectrum24 LA-4121 WLAN card",
+    tx_uj_per_bit=0.66,
+    rx_uj_per_bit=0.31,
+    bitrate_bps=11_000_000.0,
+)
+
+TRANSCEIVERS = {
+    "100kbps": RADIO_100KBPS,
+    "wlan": WLAN_SPECTRUM24,
+}
+
+
+def get_transceiver(name: str) -> Transceiver:
+    """Look up a transceiver by short name (``"100kbps"`` or ``"wlan"``)."""
+    try:
+        return TRANSCEIVERS[name]
+    except KeyError:
+        raise EnergyModelError(
+            f"unknown transceiver {name!r}; available: {', '.join(sorted(TRANSCEIVERS))}"
+        ) from None

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so applications can catch library failures with a single
+``except`` clause while still being able to distinguish the broad failure
+classes that matter operationally:
+
+* parameter / configuration problems (:class:`ParameterError`),
+* cryptographic verification failures (:class:`VerificationError` and its
+  subclasses), which in the protocols trigger the paper's "all members will
+  retransmit again" behaviour rather than crashing a node,
+* protocol-state violations (:class:`ProtocolError`), e.g. feeding a Round 2
+  message to a party still waiting for Round 1,
+* simulated-network delivery problems (:class:`NetworkError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ParameterError(ReproError):
+    """Invalid, inconsistent, or unsupported cryptographic parameters."""
+
+
+class SerializationError(ReproError):
+    """Raised when wire-format encoding or decoding fails."""
+
+
+class VerificationError(ReproError):
+    """A cryptographic check failed (signature, MAC, identity binding...)."""
+
+
+class SignatureError(VerificationError):
+    """A digital signature failed to verify."""
+
+
+class BatchVerificationError(SignatureError):
+    """The aggregate/batch signature check of the proposed protocol failed.
+
+    In the paper this is equation (2): when it does not hold, every member
+    retransmits its Round 2 message.
+    """
+
+
+class KeyConfirmationError(VerificationError):
+    """Key material failed its consistency check (e.g. Lemma 1: prod X_i != 1)."""
+
+
+class DecryptionError(VerificationError):
+    """Authenticated decryption failed (bad key, tampered ciphertext, or the
+    embedded identity did not match the expected sender)."""
+
+
+class ProtocolError(ReproError):
+    """The protocol state machine was driven out of order or with bad input."""
+
+
+class MembershipError(ProtocolError):
+    """A dynamic membership operation referenced a user not in (or already in)
+    the group."""
+
+
+class NetworkError(ReproError):
+    """Simulated network failure (undeliverable message, unknown node...)."""
+
+
+class EnergyModelError(ReproError):
+    """The energy accounting layer was asked for an unknown operation or
+    device."""

@@ -1,0 +1,39 @@
+"""Algebraic groups: Schnorr subgroups, elliptic curves, simulated pairings."""
+
+from .curves import CURVES, NIST_P192, NIST_P256, SECP160R1, TINY_CURVE, get_curve
+from .elliptic import ECPoint, EllipticCurve
+from .pairing import G1Element, GTElement, SimulatedPairingGroup
+from .params import (
+    GQ_PARAM_SETS,
+    PAPER_GQ_SET,
+    PAPER_SCHNORR_SET,
+    SCHNORR_PARAM_SETS,
+    TEST_GQ_SET,
+    TEST_SCHNORR_SET,
+    get_gq_modulus,
+    get_schnorr_group,
+)
+from .schnorr import SchnorrGroup
+
+__all__ = [
+    "CURVES",
+    "NIST_P192",
+    "NIST_P256",
+    "SECP160R1",
+    "TINY_CURVE",
+    "get_curve",
+    "ECPoint",
+    "EllipticCurve",
+    "G1Element",
+    "GTElement",
+    "SimulatedPairingGroup",
+    "GQ_PARAM_SETS",
+    "PAPER_GQ_SET",
+    "PAPER_SCHNORR_SET",
+    "SCHNORR_PARAM_SETS",
+    "TEST_GQ_SET",
+    "TEST_SCHNORR_SET",
+    "get_gq_modulus",
+    "get_schnorr_group",
+    "SchnorrGroup",
+]

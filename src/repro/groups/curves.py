@@ -1,0 +1,90 @@
+"""Named elliptic curves.
+
+``SECP160R1`` backs the paper's "160-bit ECDSA" baseline (Table 1 uses an
+86-byte ECDSA certificate and a 2x160-bit signature).  ``P-192`` and
+``P-256`` are provided for completeness and for the test-suite; ``TINY_CURVE``
+is a deliberately small curve whose whole group can be enumerated in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..exceptions import ParameterError
+from .elliptic import EllipticCurve
+
+__all__ = ["SECP160R1", "NIST_P192", "NIST_P256", "TINY_CURVE", "CURVES", "get_curve"]
+
+
+#: secp160r1 (SECG), the 160-bit curve matching the paper's ECDSA key size.
+SECP160R1 = EllipticCurve(
+    name="secp160r1",
+    p=0x00FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFF,
+    a=0x00FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF7FFFFFFC,
+    b=0x001C97BEFC54BD7A8B65ACF89F81D4D4ADC565FA45,
+    gx=0x004A96B5688EF573284664698968C38BB913CBFC82,
+    gy=0x0023A628553168947D59DCC912042351377AC5FB32,
+    n=0x0100000000000000000001F4C8F927AED3CA752257,
+    h=1,
+)
+
+#: NIST P-192 (secp192r1).
+NIST_P192 = EllipticCurve(
+    name="P-192",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFFFFFFFFFFFC,
+    b=0x64210519E59C80E70FA7E9AB72243049FEB8DEECC146B9B1,
+    gx=0x188DA80EB03090F67CBF20EB43A18800F4FF0AFD82FF1012,
+    gy=0x07192B95FFC8DA78631011ED6B24CDD573F977A11E794811,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFF99DEF836146BC9B1B4D22831,
+    h=1,
+)
+
+#: NIST P-256 (secp256r1).
+NIST_P256 = EllipticCurve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFC,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    h=1,
+)
+
+#: A toy curve over GF(10007) used only by unit / property tests where the
+#: whole group can be walked.  y^2 = x^3 + 3x + 6 over GF(10007) has prime
+#: order 10039, so every non-identity point is a generator.
+TINY_CURVE = EllipticCurve(
+    name="tiny-10007",
+    p=10007,
+    a=3,
+    b=6,
+    gx=0,
+    gy=1973,
+    n=10039,
+    h=1,
+)
+
+CURVES: Dict[str, EllipticCurve] = {
+    "secp160r1": SECP160R1,
+    "P-192": NIST_P192,
+    "P-256": NIST_P256,
+    "tiny-10007": TINY_CURVE,
+}
+
+
+def get_curve(name: str) -> EllipticCurve:
+    """Look up a named curve.
+
+    Raises
+    ------
+    ParameterError
+        If the curve name is not registered.
+    """
+    try:
+        return CURVES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown curve {name!r}; available: {', '.join(sorted(CURVES))}"
+        ) from None

@@ -1,0 +1,95 @@
+"""Named, deterministic parameter sets.
+
+The paper's Setup uses a 1024-bit prime ``p`` with a 160-bit prime ``q``
+dividing ``p - 1`` for the GKA, and a 1024-bit RSA-style modulus (two 512-bit
+primes) for the GQ signature scheme.  Generating those parameters is cheap in
+CPython (well under a second), so rather than embedding large hex constants,
+this module exposes *named* parameter sets generated from fixed seeds and
+memoised per process — every run of every test, example and benchmark sees the
+exact same numbers.
+
+Use :func:`get_schnorr_group` / :func:`get_gq_modulus` with one of the names in
+:data:`SCHNORR_PARAM_SETS` / :data:`GQ_PARAM_SETS`.  ``"ipps2006-1024"`` and
+``"gq-1024"`` are the paper-faithful sizes; the ``"test-*"`` sets are small and
+exist purely to keep the unit-test suite fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..exceptions import ParameterError
+from ..mathutils.primes import RSAModulus, generate_rsa_modulus, generate_schnorr_parameters
+from ..mathutils.rand import DeterministicRNG
+from .schnorr import SchnorrGroup
+
+__all__ = [
+    "SCHNORR_PARAM_SETS",
+    "GQ_PARAM_SETS",
+    "get_schnorr_group",
+    "get_gq_modulus",
+    "PAPER_SCHNORR_SET",
+    "PAPER_GQ_SET",
+    "TEST_SCHNORR_SET",
+    "TEST_GQ_SET",
+]
+
+#: name -> (p_bits, q_bits, seed)
+SCHNORR_PARAM_SETS: Dict[str, Tuple[int, int, str]] = {
+    "ipps2006-1024": (1024, 160, "schnorr-1024-160"),
+    "medium-768": (768, 160, "schnorr-768-160"),
+    "small-512": (512, 160, "schnorr-512-160"),
+    "test-256": (256, 64, "schnorr-256-64"),
+    "test-128": (128, 32, "schnorr-128-32"),
+}
+
+#: name -> (modulus_bits, seed)
+GQ_PARAM_SETS: Dict[str, Tuple[int, str]] = {
+    "gq-1024": (1024, "gq-1024"),
+    "gq-512": (512, "gq-512"),
+    "gq-test-256": (256, "gq-256"),
+}
+
+#: The parameter sets matching the paper's Setup (Section 4).
+PAPER_SCHNORR_SET = "ipps2006-1024"
+PAPER_GQ_SET = "gq-1024"
+
+#: Small parameter sets used by fast unit tests.
+TEST_SCHNORR_SET = "test-256"
+TEST_GQ_SET = "gq-test-256"
+
+
+@lru_cache(maxsize=None)
+def get_schnorr_group(name: str = PAPER_SCHNORR_SET) -> SchnorrGroup:
+    """Return the named Schnorr group, generating it on first use.
+
+    The result is cached for the lifetime of the process, so repeated calls
+    (every protocol instance, every benchmark iteration) are free.
+    """
+    try:
+        p_bits, q_bits, seed = SCHNORR_PARAM_SETS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown Schnorr parameter set {name!r}; "
+            f"available: {', '.join(sorted(SCHNORR_PARAM_SETS))}"
+        ) from None
+    rng = DeterministicRNG(seed, label=name)
+    p, q, g = generate_schnorr_parameters(p_bits, q_bits, rng)
+    group = SchnorrGroup(p=p, q=q, g=g)
+    group.validate(check_primality=False)
+    return group
+
+
+@lru_cache(maxsize=None)
+def get_gq_modulus(name: str = PAPER_GQ_SET) -> RSAModulus:
+    """Return the named GQ (RSA-style) modulus, generating it on first use."""
+    try:
+        bits, seed = GQ_PARAM_SETS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown GQ parameter set {name!r}; "
+            f"available: {', '.join(sorted(GQ_PARAM_SETS))}"
+        ) from None
+    rng = DeterministicRNG(seed, label=name)
+    return generate_rsa_modulus(bits, rng)

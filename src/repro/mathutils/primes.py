@@ -1,0 +1,269 @@
+"""Prime generation and primality testing.
+
+The protocols in the paper need three kinds of parameters:
+
+* an RSA-style modulus ``n' = p' * q'`` with two large (512-bit) primes for
+  the GQ identity-based signature scheme,
+* a Schnorr group: a 1024-bit prime ``p`` with a 160-bit prime ``q`` dividing
+  ``p - 1`` and a generator ``g`` of the order-``q`` subgroup of ``Z_p^*``,
+* assorted smaller primes for the DSA / ECDSA baselines and for the fast test
+  parameter sets.
+
+Everything is generated from a :class:`~repro.mathutils.rand.DeterministicRNG`
+so parameter generation is reproducible; named precomputed parameter sets live
+in :mod:`repro.groups.params` so the test-suite does not pay the generation
+cost on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import ParameterError
+from .modular import modinv
+from .rand import DeterministicRNG
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "miller_rabin",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "generate_schnorr_parameters",
+    "generate_rsa_modulus",
+    "RSAModulus",
+]
+
+
+def _sieve(limit: int) -> Tuple[int, ...]:
+    """Primes below ``limit`` via a simple Eratosthenes sieve."""
+    flags = bytearray([1]) * limit
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = b"\x00" * len(flags[i * i :: i])
+    return tuple(i for i, f in enumerate(flags) if f)
+
+
+#: Small primes used for trial division before Miller-Rabin.
+SMALL_PRIMES: Tuple[int, ...] = _sieve(2000)
+
+
+def miller_rabin(n: int, witness: int) -> bool:
+    """Single Miller-Rabin round: return True if ``n`` passes for ``witness``."""
+    if n % 2 == 0:
+        return n == 2
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(witness % n, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: Optional[DeterministicRNG] = None) -> bool:
+    """Probabilistic primality test (trial division + Miller-Rabin).
+
+    With ``rounds=40`` the error probability is below ``4^-40``; for the
+    deterministic small range (< 3.3e24) the fixed witness set makes the test
+    exact, which keeps the fast unit-test parameters provably prime.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Deterministic witness set correct for n < 3,317,044,064,679,887,385,961,981.
+    deterministic_witnesses = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    if n < 3_317_044_064_679_887_385_961_981:
+        return all(miller_rabin(n, w) for w in deterministic_witnesses)
+    rng = rng or DeterministicRNG(n & 0xFFFFFFFF, label="miller-rabin")
+    for _ in range(rounds):
+        witness = rng.randint(2, n - 2)
+        if not miller_rabin(n, witness):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(2, n + 1)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def random_prime(bits: int, rng: DeterministicRNG) -> int:
+    """Return a random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ParameterError("a prime needs at least 2 bits")
+    while True:
+        candidate = rng.random_odd_bits_exact(bits) if bits > 2 else rng.choice([2, 3])
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: DeterministicRNG, max_attempts: int = 100000) -> int:
+    """Return a random safe prime ``p = 2q + 1`` with ``bits`` bits.
+
+    Safe primes are only needed by a couple of baseline configurations and by
+    tests of the group substrate; the main Schnorr parameter generation below
+    uses the faster "q divides p-1" construction the paper describes.
+    """
+    if bits < 3:
+        raise ParameterError("a safe prime needs at least 3 bits")
+    for _ in range(max_attempts):
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p):
+            return p
+    raise ParameterError(f"could not find a {bits}-bit safe prime in {max_attempts} attempts")
+
+
+def generate_schnorr_parameters(
+    p_bits: int,
+    q_bits: int,
+    rng: DeterministicRNG,
+    max_attempts: int = 200000,
+) -> Tuple[int, int, int]:
+    """Generate ``(p, q, g)`` with ``q | p - 1`` and ``g`` of order ``q``.
+
+    This is the parameter shape the paper's Setup uses: a 160-bit prime ``q``
+    dividing ``p - 1`` for a 1024-bit prime ``p``, with generator ``g`` of the
+    order-``q`` subgroup of ``Z_p^*``.
+
+    The construction draws ``q`` first, then searches for a cofactor ``k``
+    such that ``p = k*q + 1`` is prime, then derives ``g = h^((p-1)/q)`` for a
+    random ``h`` until ``g != 1``.
+    """
+    if q_bits >= p_bits:
+        raise ParameterError("q_bits must be smaller than p_bits")
+    q = random_prime(q_bits, rng)
+    k_bits = p_bits - q_bits
+    for _ in range(max_attempts):
+        k = rng.random_bits_exact(k_bits)
+        if k % 2 == 1:
+            k += 1  # keep p-1 even
+        p = k * q + 1
+        if p.bit_length() != p_bits:
+            continue
+        if is_probable_prime(p):
+            break
+    else:
+        raise ParameterError(
+            f"could not find a {p_bits}-bit prime p with {q_bits}-bit q | p-1"
+        )
+    cofactor = (p - 1) // q
+    while True:
+        h = rng.randint(2, p - 2)
+        g = pow(h, cofactor, p)
+        if g != 1:
+            break
+    assert pow(g, q, p) == 1, "generator must have order q"
+    return p, q, g
+
+
+@dataclass(frozen=True)
+class RSAModulus:
+    """An RSA-style modulus with its factorisation and GQ exponents.
+
+    Attributes
+    ----------
+    n:
+        The public modulus ``p * q``.
+    p, q:
+        The private prime factors (512-bit each for the paper's parameters).
+    e:
+        The public verification exponent of the GQ scheme.
+    d:
+        The private exponent with ``e * d = 1 (mod phi(n))``; this is the
+        PKG's master extraction key.
+    """
+
+    n: int
+    p: int
+    q: int
+    e: int
+    d: int
+
+    @property
+    def phi(self) -> int:
+        """Euler's totient of ``n``."""
+        return (self.p - 1) * (self.q - 1)
+
+    @property
+    def bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.n.bit_length()
+
+    def validate(self) -> None:
+        """Raise :class:`ParameterError` if the modulus is internally inconsistent."""
+        if self.p * self.q != self.n:
+            raise ParameterError("n != p*q")
+        if not is_probable_prime(self.p) or not is_probable_prime(self.q):
+            raise ParameterError("p and q must both be prime")
+        if (self.e * self.d) % self.phi != 1:
+            raise ParameterError("e*d != 1 mod phi(n)")
+        if math.gcd(self.e, self.phi) != 1:
+            raise ParameterError("e must be coprime to phi(n)")
+
+
+def generate_rsa_modulus(
+    bits: int,
+    rng: DeterministicRNG,
+    e: Optional[int] = None,
+) -> RSAModulus:
+    """Generate an RSA-style modulus for the GQ scheme.
+
+    Parameters
+    ----------
+    bits:
+        Total modulus size; the two primes get ``bits // 2`` bits each (the
+        paper uses two 512-bit primes for a 1024-bit ``n``).
+    rng:
+        Deterministic randomness source.
+    e:
+        Optional public exponent.  The paper only requires ``gcd(e, d) = 1``
+        with ``d`` coprime to ``phi(n)``; we follow standard GQ practice and
+        pick a prime ``e`` coprime to ``phi(n)`` (default: the smallest
+        suitable odd prime >= 65537), because the verification exponent also
+        bounds the soundness of the identification underlying the signature.
+    """
+    if bits < 16:
+        raise ParameterError("modulus must be at least 16 bits")
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        if e is None:
+            candidate_e = 65537 if bits > 40 else 17
+            while math.gcd(candidate_e, phi) != 1:
+                candidate_e = next_prime(candidate_e)
+        else:
+            candidate_e = e
+            if math.gcd(candidate_e, phi) != 1:
+                continue
+        d = modinv(candidate_e, phi)
+        modulus = RSAModulus(n=n, p=p, q=q, e=candidate_e, d=d)
+        modulus.validate()
+        return modulus

@@ -1,0 +1,41 @@
+"""Simulated wireless network: messages, nodes, broadcast medium, ring
+topology, and dynamic-membership event traces."""
+
+from .events import (
+    EventTraceGenerator,
+    JoinEvent,
+    LeaveEvent,
+    MembershipEvent,
+    MergeEvent,
+    PartitionEvent,
+)
+from .medium import BroadcastMedium, DeliveryReceipt
+from .message import (
+    Message,
+    MessagePart,
+    envelope_part,
+    group_element_part,
+    identity_part,
+    signature_part,
+)
+from .node import Node
+from .topology import RingTopology
+
+__all__ = [
+    "EventTraceGenerator",
+    "JoinEvent",
+    "LeaveEvent",
+    "MembershipEvent",
+    "MergeEvent",
+    "PartitionEvent",
+    "BroadcastMedium",
+    "DeliveryReceipt",
+    "Message",
+    "MessagePart",
+    "envelope_part",
+    "group_element_part",
+    "identity_part",
+    "signature_part",
+    "Node",
+    "RingTopology",
+]

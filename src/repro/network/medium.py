@@ -1,0 +1,143 @@
+"""The simulated broadcast medium.
+
+Wireless group-key protocols are broadcast protocols: one transmission is
+received by every other node in range.  :class:`BroadcastMedium` models that —
+the sender is charged one transmission of the message's size, every recipient
+is charged one reception — and optionally injects message loss, in which case
+the sender retransmits (charging everyone again) until the message gets
+through or the retry budget is exhausted.  That is exactly the retransmission
+behaviour the paper appeals to when a verification fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import NetworkError
+from ..mathutils.rand import DeterministicRNG
+from ..pki.identity import Identity
+from .message import Message
+from .node import Node
+
+__all__ = ["BroadcastMedium", "DeliveryReceipt"]
+
+
+@dataclass
+class DeliveryReceipt:
+    """What happened to one send: attempts used and who received it."""
+
+    message: Message
+    attempts: int
+    delivered_to: List[Identity]
+
+
+class BroadcastMedium:
+    """A single-hop broadcast domain connecting a set of nodes.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability that a given transmission attempt is lost (applied to the
+        whole broadcast, modelling a collision / deep fade at the sender).
+    max_retries:
+        How many times a lost transmission is retried before
+        :class:`NetworkError` is raised.
+    rng:
+        Randomness source for loss decisions (deterministic, like everything
+        else in the library).
+    """
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        max_retries: int = 10,
+        rng: Optional[DeterministicRNG] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must be in [0, 1)")
+        self.loss_probability = loss_probability
+        self.max_retries = max_retries
+        self._rng = rng or DeterministicRNG("medium", label="medium")
+        self._nodes: Dict[str, Node] = {}
+        self.transcript: List[Message] = []
+        self.receipts: List[DeliveryReceipt] = []
+
+    # ----------------------------------------------------------- membership
+    def attach(self, node: Node) -> Node:
+        """Attach a node to the broadcast domain."""
+        self._nodes[node.identity.name] = node
+        return node
+
+    def detach(self, identity: Identity) -> None:
+        """Remove a node (it stops receiving and being charged)."""
+        self._nodes.pop(identity.name, None)
+
+    def node(self, identity: Identity) -> Node:
+        """Look up an attached node."""
+        try:
+            return self._nodes[identity.name]
+        except KeyError:
+            raise NetworkError(f"node {identity.name!r} is not attached to the medium") from None
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All attached nodes."""
+        return list(self._nodes.values())
+
+    def __contains__(self, identity: Identity) -> bool:
+        return identity.name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ send
+    def _attempt_lost(self) -> bool:
+        if self.loss_probability <= 0.0:
+            return False
+        draw = self._rng.randbelow(1_000_000) / 1_000_000.0
+        return draw < self.loss_probability
+
+    def send(self, message: Message) -> DeliveryReceipt:
+        """Transmit a message, charging sender and receivers, with retries on loss."""
+        sender = self.node(message.sender)
+        attempts = 0
+        while True:
+            attempts += 1
+            sender.recorder.record_tx(message.wire_bits)
+            if not self._attempt_lost():
+                break
+            if attempts > self.max_retries:
+                raise NetworkError(
+                    f"message from {message.sender.name} lost {attempts} times; giving up"
+                )
+        delivered: List[Identity] = []
+        for node in self._nodes.values():
+            if not message.addressed_to(node.identity):
+                continue
+            # Receivers pay for every attempt they had to listen to; with the
+            # default lossless medium this is exactly one reception.
+            node.recorder.record_rx(message.wire_bits * attempts, messages=attempts)
+            node.deliver(message)
+            delivered.append(node.identity)
+        receipt = DeliveryReceipt(message=message, attempts=attempts, delivered_to=delivered)
+        self.transcript.append(message)
+        self.receipts.append(receipt)
+        return receipt
+
+    def broadcast_all(self, messages: List[Message]) -> List[DeliveryReceipt]:
+        """Send a batch of messages (one protocol round) in order."""
+        return [self.send(message) for message in messages]
+
+    # ------------------------------------------------------------- reporting
+    def total_messages(self) -> int:
+        """Number of distinct messages placed on the medium."""
+        return len(self.transcript)
+
+    def total_bits(self) -> int:
+        """Total bits placed on the medium (one copy per message, ignoring retries)."""
+        return sum(message.wire_bits for message in self.transcript)
+
+    def messages_for_round(self, round_label: str) -> List[Message]:
+        """All transcript messages belonging to one round."""
+        return [m for m in self.transcript if m.round_label == round_label]

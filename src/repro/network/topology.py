@@ -1,0 +1,139 @@
+"""Ring topology management.
+
+Both BD and the proposed protocol "consider a ring structure among the users
+of G where the users' indices can be considered on the circulation of
+{1, ..., n}".  :class:`RingTopology` owns that ordering: neighbour lookup with
+wrap-around, the index conventions ``r_0 = r_n`` / ``r_{n+1} = r_1``, and the
+ring surgery performed by the dynamic protocols (insert a joining node between
+``U_n`` and ``U_1``, remove leaving nodes, splice two rings for a merge,
+split a ring for a partition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import MembershipError, ParameterError
+from ..pki.identity import Identity
+
+__all__ = ["RingTopology"]
+
+
+class RingTopology:
+    """An ordered ring of identities with 1-based paper-style indexing."""
+
+    def __init__(self, members: Sequence[Identity]) -> None:
+        if len(members) < 2:
+            raise ParameterError("a group needs at least two members")
+        names = [m.name for m in members]
+        if len(names) != len(set(names)):
+            raise ParameterError("duplicate members in ring")
+        self._members: List[Identity] = list(members)
+
+    # ----------------------------------------------------------------- views
+    @property
+    def members(self) -> List[Identity]:
+        """Members in ring order, ``U_1`` first."""
+        return list(self._members)
+
+    @property
+    def size(self) -> int:
+        """Group size ``n``."""
+        return len(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Identity]:
+        return iter(self._members)
+
+    def __contains__(self, identity: Identity) -> bool:
+        return any(m.name == identity.name for m in self._members)
+
+    # --------------------------------------------------------------- indexing
+    def index_of(self, identity: Identity) -> int:
+        """The paper-style 1-based index of ``identity``."""
+        for position, member in enumerate(self._members, start=1):
+            if member.name == identity.name:
+                return position
+        raise MembershipError(f"{identity.name!r} is not in the group")
+
+    def member_at(self, index: int) -> Identity:
+        """The member with 1-based index ``index`` (wrapping around the ring)."""
+        return self._members[(index - 1) % len(self._members)]
+
+    def controller(self) -> Identity:
+        """``U_1``, which the paper designates as the trusted controller."""
+        return self._members[0]
+
+    def last(self) -> Identity:
+        """``U_n``, the other actively involved node in the Join protocol."""
+        return self._members[-1]
+
+    def left_neighbour(self, identity: Identity) -> Identity:
+        """``U_{i-1}`` with wrap-around (``U_0 = U_n``)."""
+        return self.member_at(self.index_of(identity) - 1)
+
+    def right_neighbour(self, identity: Identity) -> Identity:
+        """``U_{i+1}`` with wrap-around (``U_{n+1} = U_1``)."""
+        return self.member_at(self.index_of(identity) + 1)
+
+    def odd_indexed(self, exclude: Iterable[Identity] = ()) -> List[Identity]:
+        """Members with odd 1-based index, minus any excluded identities.
+
+        These are the users who refresh their exponents in the Leave and
+        Partition protocols.
+        """
+        excluded = {identity.name for identity in exclude}
+        return [
+            member
+            for position, member in enumerate(self._members, start=1)
+            if position % 2 == 1 and member.name not in excluded
+        ]
+
+    def even_indexed(self, exclude: Iterable[Identity] = ()) -> List[Identity]:
+        """Members with even 1-based index, minus any excluded identities."""
+        excluded = {identity.name for identity in exclude}
+        return [
+            member
+            for position, member in enumerate(self._members, start=1)
+            if position % 2 == 0 and member.name not in excluded
+        ]
+
+    # ------------------------------------------------------------ ring surgery
+    def with_join(self, new_member: Identity) -> "RingTopology":
+        """The ring after ``new_member`` joins between ``U_n`` and ``U_1``."""
+        if new_member in self:
+            raise MembershipError(f"{new_member.name!r} is already a group member")
+        return RingTopology(self._members + [new_member])
+
+    def with_leave(self, leaving: Identity) -> "RingTopology":
+        """The ring after ``leaving`` departs (order of the rest preserved)."""
+        if leaving not in self:
+            raise MembershipError(f"{leaving.name!r} is not a group member")
+        remaining = [m for m in self._members if m.name != leaving.name]
+        if len(remaining) < 2:
+            raise MembershipError("cannot shrink the group below two members")
+        return RingTopology(remaining)
+
+    def with_partition(self, leaving: Sequence[Identity]) -> "RingTopology":
+        """The ring after every identity in ``leaving`` departs."""
+        leaving_names = {identity.name for identity in leaving}
+        unknown = leaving_names - {m.name for m in self._members}
+        if unknown:
+            raise MembershipError(f"not group members: {sorted(unknown)}")
+        remaining = [m for m in self._members if m.name not in leaving_names]
+        if len(remaining) < 2:
+            raise MembershipError("cannot shrink the group below two members")
+        return RingTopology(remaining)
+
+    def merged_with(self, other: "RingTopology") -> "RingTopology":
+        """The ring ``G' = G_A ∪ G_B`` with group B appended after ``U_n``."""
+        overlap = {m.name for m in self._members} & {m.name for m in other._members}
+        if overlap:
+            raise MembershipError(f"groups overlap: {sorted(overlap)}")
+        return RingTopology(self._members + other._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingTopology({[m.name for m in self._members]})"

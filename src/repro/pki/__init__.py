@@ -1,0 +1,17 @@
+"""Identities, ID-based private key generators, and the certificate authority."""
+
+from .ca import Certificate, CertificateAuthority, DSA_CERT_BYTES, ECDSA_CERT_BYTES
+from .identity import IDENTITY_BITS, Identity, IdentityRegistry
+from .pkg import PrivateKeyGenerator, SOKPrivateKeyGenerator
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "DSA_CERT_BYTES",
+    "ECDSA_CERT_BYTES",
+    "IDENTITY_BITS",
+    "Identity",
+    "IdentityRegistry",
+    "PrivateKeyGenerator",
+    "SOKPrivateKeyGenerator",
+]

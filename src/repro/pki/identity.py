@@ -1,0 +1,127 @@
+"""User identities.
+
+The paper works with "32-bit identities" ``U_i = ID_i``.  :class:`Identity`
+keeps both the human-readable name (used by examples and reports) and the
+canonical 32-bit wire encoding (used for hashing, signing and message-size
+accounting).  An :class:`IdentityRegistry` assigns the 32-bit values
+deterministically and guards against collisions — a necessity because every
+ID-based public key is literally a hash of the identity bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..exceptions import ParameterError
+from ..hashing.sha256 import sha256_digest
+
+__all__ = ["Identity", "IdentityRegistry", "IDENTITY_BITS"]
+
+#: Wire size of an identity, per the paper's Extract step ("the 32-bit identity").
+IDENTITY_BITS = 32
+
+
+@dataclass(frozen=True, order=True)
+class Identity:
+    """A protocol participant's identity.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"node-07"``.
+    value:
+        The 32-bit identity value actually hashed and transmitted.  If not
+        supplied it is derived deterministically from ``name``.
+    """
+
+    name: str
+    value: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("identity name must be non-empty")
+        if self.value == -1:
+            derived = int.from_bytes(sha256_digest(self.name.encode("utf-8"))[:4], "big")
+            object.__setattr__(self, "value", derived)
+        if not 0 <= self.value < 2**IDENTITY_BITS:
+            raise ParameterError("identity value must fit in 32 bits")
+
+    def to_bytes(self) -> bytes:
+        """Canonical 4-byte wire encoding (what ``H(ID)`` actually hashes)."""
+        return self.value.to_bytes(IDENTITY_BITS // 8, "big")
+
+    @property
+    def wire_bits(self) -> int:
+        """Size contributed to a message when the identity is transmitted."""
+        return IDENTITY_BITS
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Identity({self.name!r}, 0x{self.value:08x})"
+
+
+class IdentityRegistry:
+    """Tracks the identities known to a deployment and prevents collisions.
+
+    The PKG consults the registry during Extract ("The PKG verifies the given
+    user identity ID"): extraction is refused for identities that were never
+    registered, and registration is refused when the 32-bit value collides
+    with a different name.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Identity] = {}
+        self._by_value: Dict[int, Identity] = {}
+
+    def register(self, identity: Identity) -> Identity:
+        """Register an identity, returning it for chaining.
+
+        Registering the same identity twice is a no-op; registering a new
+        name whose 32-bit value collides with an existing one raises
+        :class:`ParameterError`.
+        """
+        existing = self._by_name.get(identity.name)
+        if existing is not None:
+            if existing.value != identity.value:
+                raise ParameterError(f"identity {identity.name!r} already registered with a different value")
+            return existing
+        holder = self._by_value.get(identity.value)
+        if holder is not None and holder.name != identity.name:
+            raise ParameterError(
+                f"identity value 0x{identity.value:08x} collides between "
+                f"{holder.name!r} and {identity.name!r}"
+            )
+        self._by_name[identity.name] = identity
+        self._by_value[identity.value] = identity
+        return identity
+
+    def create(self, name: str) -> Identity:
+        """Create-and-register an identity by name."""
+        return self.register(Identity(name))
+
+    def create_many(self, count: int, prefix: str = "node") -> List[Identity]:
+        """Create ``count`` identities named ``{prefix}-000`` ... (a common need in sweeps)."""
+        return [self.create(f"{prefix}-{i:03d}") for i in range(count)]
+
+    def get(self, name: str) -> Identity:
+        """Look up a registered identity by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ParameterError(f"unknown identity {name!r}") from None
+
+    def is_registered(self, identity: Identity) -> bool:
+        """Whether this exact identity has been registered."""
+        return self._by_name.get(identity.name) == identity
+
+    def __contains__(self, identity: Identity) -> bool:
+        return self.is_registered(identity)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Identity]:
+        return iter(self._by_name.values())

@@ -1,0 +1,43 @@
+"""Signature schemes compared in the paper: GQ (ID-based, batch-verifiable),
+DSA, ECDSA (certificate-based) and SOK (ID-based, pairing-based)."""
+
+from .base import KeyPair, OperationCount, Signature, SignatureScheme
+from .dsa import DSAKeyPair, DSASignatureScheme
+from .ecdsa import ECDSAKeyPair, ECDSASignatureScheme
+from .gq import (
+    GQParameters,
+    GQPrivateKey,
+    GQSignatureScheme,
+    gq_batch_verify,
+    gq_commitment,
+    gq_response,
+    gq_signature_bits,
+)
+from .sok import (
+    SOK_SIGNATURE_COMPONENT_BITS,
+    SOKMasterKey,
+    SOKPrivateKey,
+    SOKSignatureScheme,
+)
+
+__all__ = [
+    "KeyPair",
+    "OperationCount",
+    "Signature",
+    "SignatureScheme",
+    "DSAKeyPair",
+    "DSASignatureScheme",
+    "ECDSAKeyPair",
+    "ECDSASignatureScheme",
+    "GQParameters",
+    "GQPrivateKey",
+    "GQSignatureScheme",
+    "gq_batch_verify",
+    "gq_commitment",
+    "gq_response",
+    "gq_signature_bits",
+    "SOK_SIGNATURE_COMPONENT_BITS",
+    "SOKMasterKey",
+    "SOKPrivateKey",
+    "SOKSignatureScheme",
+]

@@ -1,0 +1,138 @@
+"""Common interfaces for the signature schemes used in the comparison.
+
+Table 1 of the paper compares five ways of authenticating the BD protocol;
+four of them involve a signature scheme (the GQ variant, SOK, ECDSA, DSA).
+Each scheme in this package implements the small :class:`SignatureScheme`
+interface so the authenticated-protocol code and the complexity/energy
+analysis can treat them uniformly:
+
+* ``sign`` / ``verify`` with byte-string messages,
+* a :class:`Signature` value that knows its exact wire size in bits (the
+  energy model charges transmission/reception per bit using the sizes from
+  the paper's Table 3 footnotes),
+* an :class:`OperationCount` record of the primitive operations performed,
+  which feeds the complexity analysis (Table 1 / Table 4) without having to
+  instrument the arithmetic itself.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["Signature", "OperationCount", "SignatureScheme", "KeyPair"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature value plus its wire representation.
+
+    Attributes
+    ----------
+    scheme:
+        Short scheme identifier (``"gq"``, ``"dsa"``, ``"ecdsa"``, ``"sok"``).
+    components:
+        Named integer components (e.g. ``{"s": ..., "c": ...}`` for GQ).
+    wire_bits:
+        Exact transmitted size in bits; follows the paper's footnotes
+        (DSA/ECDSA 320 bits, SOK 388 bits, GQ 1184 bits for the 1024-bit
+        parameter set).
+    """
+
+    scheme: str
+    components: Mapping[str, int]
+    wire_bits: int
+
+    def component(self, name: str) -> int:
+        """Convenience accessor for one named component."""
+        return self.components[name]
+
+
+@dataclass
+class OperationCount:
+    """Primitive-operation tally for one cryptographic action.
+
+    The counters use the paper's operation vocabulary so they can be priced
+    directly from Table 2: modular exponentiations, scalar multiplications,
+    MapToPoint evaluations, Tate pairings, signature generations /
+    verifications, symmetric encryptions/decryptions and hash invocations.
+    """
+
+    modexp: int = 0
+    scalar_mul: int = 0
+    map_to_point: int = 0
+    pairing: int = 0
+    sign_gen: int = 0
+    sign_verify: int = 0
+    symmetric: int = 0
+    hash_calls: int = 0
+    modmul: int = 0
+
+    def merge(self, other: "OperationCount") -> "OperationCount":
+        """Return a new tally that is the sum of ``self`` and ``other``."""
+        return OperationCount(
+            modexp=self.modexp + other.modexp,
+            scalar_mul=self.scalar_mul + other.scalar_mul,
+            map_to_point=self.map_to_point + other.map_to_point,
+            pairing=self.pairing + other.pairing,
+            sign_gen=self.sign_gen + other.sign_gen,
+            sign_verify=self.sign_verify + other.sign_verify,
+            symmetric=self.symmetric + other.symmetric,
+            hash_calls=self.hash_calls + other.hash_calls,
+            modmul=self.modmul + other.modmul,
+        )
+
+    def __add__(self, other: "OperationCount") -> "OperationCount":
+        return self.merge(other)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by the analysis tables."""
+        return {
+            "modexp": self.modexp,
+            "scalar_mul": self.scalar_mul,
+            "map_to_point": self.map_to_point,
+            "pairing": self.pairing,
+            "sign_gen": self.sign_gen,
+            "sign_verify": self.sign_verify,
+            "symmetric": self.symmetric,
+            "hash_calls": self.hash_calls,
+            "modmul": self.modmul,
+        }
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private/public key pair for the certificate-based schemes."""
+
+    private: int
+    public: object  # int for DSA, ECPoint for ECDSA
+    scheme: str
+
+
+class SignatureScheme(abc.ABC):
+    """Minimal interface shared by every signature scheme in the library."""
+
+    #: short identifier used in tables and reports
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def signature_bits(self) -> int:
+        """Nominal wire size of one signature, in bits."""
+
+    @abc.abstractmethod
+    def sign(self, private_key, message: bytes, rng) -> Signature:
+        """Sign ``message`` with ``private_key`` using randomness from ``rng``."""
+
+    @abc.abstractmethod
+    def verify(self, public_key, message: bytes, signature: Signature) -> bool:
+        """Verify ``signature`` over ``message`` against ``public_key``."""
+
+    def sign_cost(self) -> OperationCount:
+        """Operation tally of one signature generation (for the analysis layer)."""
+        return OperationCount(sign_gen=1)
+
+    def verify_cost(self) -> OperationCount:
+        """Operation tally of one signature verification."""
+        return OperationCount(sign_verify=1)

@@ -1,0 +1,92 @@
+"""DSA over a Schnorr group (the "BD with 1024-bit DSA" baseline).
+
+Standard FIPS-186 style DSA: the public key is ``y = g^x mod p`` in the same
+kind of (1024-bit ``p``, 160-bit ``q``) group the GKA uses; a signature is the
+pair ``(r, s)`` of two 160-bit values, i.e. 320 bits on the wire, matching the
+paper's Table 3 footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from ..groups.schnorr import SchnorrGroup
+from ..hashing.hashfuncs import HashFunction
+from ..mathutils.modular import modinv
+from ..mathutils.rand import DeterministicRNG
+from .base import KeyPair, OperationCount, Signature, SignatureScheme
+
+__all__ = ["DSASignatureScheme", "DSAKeyPair"]
+
+
+@dataclass(frozen=True)
+class DSAKeyPair:
+    """A DSA key pair: private ``x`` and public ``y = g^x mod p``."""
+
+    private: int
+    public: int
+
+
+class DSASignatureScheme(SignatureScheme):
+    """DSA signing/verification over a :class:`SchnorrGroup`."""
+
+    name = "dsa"
+
+    def __init__(self, group: SchnorrGroup, hash_function: HashFunction | None = None) -> None:
+        self.group = group
+        self.hash_function = hash_function or HashFunction(output_bits=group.q_bits)
+
+    # -------------------------------------------------------------- key mgmt
+    def generate_keypair(self, rng: DeterministicRNG) -> DSAKeyPair:
+        """Generate ``x`` uniform in ``Z_q^*`` and ``y = g^x``."""
+        x = self.group.random_exponent(rng)
+        y = self.group.exp_g(x)
+        return DSAKeyPair(private=x, public=y)
+
+    # -------------------------------------------------------------- interface
+    @property
+    def signature_bits(self) -> int:
+        """Two ``|q|``-bit values (320 bits for the paper's 160-bit ``q``)."""
+        return 2 * self.group.q_bits
+
+    def sign(self, private_key, message: bytes, rng: DeterministicRNG) -> Signature:
+        """Produce ``(r, s)`` with ``r = (g^k mod p) mod q``."""
+        x = private_key.private if isinstance(private_key, DSAKeyPair) else int(private_key)
+        q = self.group.q
+        digest = self.hash_function.hash_to_zq(message, q=q)
+        while True:
+            k = self.group.random_exponent(rng)
+            r = self.group.exp_g(k) % q
+            if r == 0:
+                continue
+            s = (modinv(k, q) * (digest + x * r)) % q
+            if s != 0:
+                break
+        return Signature(scheme=self.name, components={"r": r, "s": s}, wire_bits=self.signature_bits)
+
+    def verify(self, public_key, message: bytes, signature: Signature) -> bool:
+        """Standard DSA verification: check ``r == (g^{u1} y^{u2} mod p) mod q``."""
+        y = public_key.public if isinstance(public_key, DSAKeyPair) else int(public_key)
+        q = self.group.q
+        r, s = signature.component("r"), signature.component("s")
+        if not (0 < r < q and 0 < s < q):
+            return False
+        digest = self.hash_function.hash_to_zq(message, q=q)
+        try:
+            w = modinv(s, q)
+        except ParameterError:
+            return False
+        u1 = (digest * w) % q
+        u2 = (r * w) % q
+        v = (self.group.exp_g(u1) * self.group.power(y, u2)) % self.group.p % q
+        return v == r
+
+    # ------------------------------------------------------------- op counts
+    def sign_cost(self) -> OperationCount:
+        """One modular exponentiation dominates DSA signing (Table 2: "Sign. Gen. DSA")."""
+        return OperationCount(modexp=1, hash_calls=1, sign_gen=1)
+
+    def verify_cost(self) -> OperationCount:
+        """Two exponentiations dominate DSA verification (Table 2: "Sign. Ver. DSA")."""
+        return OperationCount(modexp=2, hash_calls=1, sign_verify=1)

@@ -1,0 +1,97 @@
+"""ECDSA (the "BD with 160-bit ECDSA" baseline).
+
+Standard ECDSA over a named prime-field curve; with secp160r1 the signature is
+two 160-bit scalars (320 bits), matching the paper's Table 3 footnote, and the
+certificate carrying the public key is the 86-byte ECDSA certificate of
+Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from ..groups.curves import SECP160R1
+from ..groups.elliptic import ECPoint, EllipticCurve
+from ..hashing.hashfuncs import HashFunction
+from ..mathutils.modular import modinv
+from ..mathutils.rand import DeterministicRNG
+from .base import OperationCount, Signature, SignatureScheme
+
+__all__ = ["ECDSASignatureScheme", "ECDSAKeyPair"]
+
+
+@dataclass(frozen=True)
+class ECDSAKeyPair:
+    """An ECDSA key pair: private scalar ``d`` and public point ``Q = d·G``."""
+
+    private: int
+    public: ECPoint
+
+
+class ECDSASignatureScheme(SignatureScheme):
+    """ECDSA signing/verification over an :class:`EllipticCurve`."""
+
+    name = "ecdsa"
+
+    def __init__(self, curve: EllipticCurve = SECP160R1, hash_function: HashFunction | None = None) -> None:
+        self.curve = curve
+        self.hash_function = hash_function or HashFunction(output_bits=curve.n.bit_length())
+
+    # -------------------------------------------------------------- key mgmt
+    def generate_keypair(self, rng: DeterministicRNG) -> ECDSAKeyPair:
+        """Generate ``d`` uniform in ``[1, n-1]`` and ``Q = d·G``."""
+        d = self.curve.random_scalar(rng)
+        return ECDSAKeyPair(private=d, public=self.curve.generator.multiply(d))
+
+    # -------------------------------------------------------------- interface
+    @property
+    def signature_bits(self) -> int:
+        """Two scalars modulo the group order (320 bits on secp160r1)."""
+        return 2 * self.curve.n.bit_length()
+
+    def sign(self, private_key, message: bytes, rng: DeterministicRNG) -> Signature:
+        """Produce ``(r, s)`` with ``r = (k·G).x mod n``."""
+        d = private_key.private if isinstance(private_key, ECDSAKeyPair) else int(private_key)
+        n = self.curve.n
+        digest = self.hash_function.hash_to_zq(message, q=n)
+        while True:
+            k = self.curve.random_scalar(rng)
+            point = self.curve.generator.multiply(k)
+            r = point.x % n  # type: ignore[operator]
+            if r == 0:
+                continue
+            s = (modinv(k, n) * (digest + r * d)) % n
+            if s != 0:
+                break
+        return Signature(scheme=self.name, components={"r": r, "s": s}, wire_bits=self.signature_bits)
+
+    def verify(self, public_key, message: bytes, signature: Signature) -> bool:
+        """Standard ECDSA verification via ``u1·G + u2·Q``."""
+        q_point = public_key.public if isinstance(public_key, ECDSAKeyPair) else public_key
+        if not isinstance(q_point, ECPoint):
+            raise ParameterError("ECDSA public key must be an ECPoint")
+        n = self.curve.n
+        r, s = signature.component("r"), signature.component("s")
+        if not (0 < r < n and 0 < s < n):
+            return False
+        digest = self.hash_function.hash_to_zq(message, q=n)
+        try:
+            w = modinv(s, n)
+        except ParameterError:
+            return False
+        u1 = (digest * w) % n
+        u2 = (r * w) % n
+        point = self.curve.generator.multiply(u1).add(q_point.multiply(u2))
+        if point.is_infinity:
+            return False
+        return point.x % n == r  # type: ignore[operator]
+
+    # ------------------------------------------------------------- op counts
+    def sign_cost(self) -> OperationCount:
+        """One scalar multiplication dominates (Table 2: "Sign. Gen. ECDSA")."""
+        return OperationCount(scalar_mul=1, hash_calls=1, sign_gen=1)
+
+    def verify_cost(self) -> OperationCount:
+        """Two scalar multiplications dominate (Table 2: "Sign. Ver. ECDSA")."""
+        return OperationCount(scalar_mul=2, hash_calls=1, sign_verify=1)

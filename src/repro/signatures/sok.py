@@ -1,0 +1,146 @@
+"""The SOK (Sakai–Ohgishi–Kasahara) ID-based signature baseline.
+
+The paper's second comparison protocol authenticates BD with the "194-bit
+ID-based SOK signature scheme" [13]: signatures are two group elements of 194
+bits each (388 bits total) and verification requires pairing evaluations plus
+a MapToPoint hash per identity.
+
+We implement the Cha–Cheon formulation of the SOK/IBS family, which is the
+standard concrete instantiation used for energy comparisons of this scheme:
+
+* **Setup** — master secret ``s``; public ``P_pub = s·P``.
+* **Extract** — ``Q_ID = H1(ID)`` (MapToPoint) and secret ``D_ID = s·Q_ID``.
+* **Sign(m)** — pick ``r``; ``U = r·Q_ID``; ``h = H2(U, m)``;
+  ``V = (r + h)·D_ID``; signature ``(U, V)``.
+* **Verify** — accept iff ``e(P, V) == e(P_pub, U + h·Q_ID)``.
+
+The pairing itself is the *simulated* bilinear map documented in
+:mod:`repro.groups.pairing` (see DESIGN.md substitution table); its energy
+cost is charged from the paper's Table 2 by the energy layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from ..groups.pairing import G1Element, SimulatedPairingGroup
+from ..hashing.hashfuncs import HashFunction
+from ..mathutils.rand import DeterministicRNG
+from ..mathutils.serialization import int_to_bytes
+from .base import OperationCount, Signature, SignatureScheme
+
+__all__ = ["SOKMasterKey", "SOKPrivateKey", "SOKSignatureScheme", "SOK_SIGNATURE_COMPONENT_BITS"]
+
+#: The paper's wire size for each of the two SOK signature components.
+SOK_SIGNATURE_COMPONENT_BITS = 194
+
+
+@dataclass(frozen=True)
+class SOKMasterKey:
+    """The PKG's master secret ``s`` and public key ``P_pub = s·P``."""
+
+    secret: int
+    public: G1Element
+
+    def __repr__(self) -> str:  # avoid leaking the master secret in logs
+        return "SOKMasterKey(public=...)"
+
+
+@dataclass(frozen=True)
+class SOKPrivateKey:
+    """A user's extracted key: ``Q_ID = H1(ID)`` and ``D_ID = s·Q_ID``."""
+
+    identity: bytes
+    q_id: G1Element
+    d_id: G1Element
+
+    def __repr__(self) -> str:
+        return f"SOKPrivateKey(identity={self.identity!r})"
+
+
+class SOKSignatureScheme(SignatureScheme):
+    """SOK/Cha–Cheon ID-based signatures over the simulated pairing group."""
+
+    name = "sok"
+
+    def __init__(self, pairing_group: SimulatedPairingGroup, hash_function: HashFunction | None = None) -> None:
+        self.pairing_group = pairing_group
+        self.hash_function = hash_function or HashFunction(output_bits=160)
+
+    # ---------------------------------------------------------------- setup
+    def generate_master_key(self, rng: DeterministicRNG) -> SOKMasterKey:
+        """PKG setup: choose the master secret and publish ``P_pub``."""
+        s = rng.zq_star(self.pairing_group.order)
+        p_pub = self.pairing_group.generator.scalar_mul(s)
+        return SOKMasterKey(secret=s, public=p_pub)
+
+    def extract(self, master: SOKMasterKey, identity: bytes) -> SOKPrivateKey:
+        """Extract the private key for ``identity`` (one MapToPoint + one scalar mul)."""
+        q_id = self.pairing_group.map_to_point(identity)
+        d_id = q_id.scalar_mul(master.secret)
+        return SOKPrivateKey(identity=identity, q_id=q_id, d_id=d_id)
+
+    # ------------------------------------------------------------- interface
+    @property
+    def signature_bits(self) -> int:
+        """Two 194-bit components, per the paper's Table 3 footnote."""
+        return 2 * SOK_SIGNATURE_COMPONENT_BITS
+
+    def _message_hash(self, u: G1Element, message: bytes) -> int:
+        return self.hash_function.digest_int(
+            int_to_bytes(u.exponent), message, domain=b"repro/SOK-H2"
+        ) % self.pairing_group.order
+
+    def sign(self, private_key: SOKPrivateKey, message: bytes, rng: DeterministicRNG) -> Signature:
+        """Sign: ``U = r·Q_ID``, ``h = H2(U, m)``, ``V = (r + h)·D_ID``."""
+        order = self.pairing_group.order
+        r = rng.zq_star(order)
+        u = private_key.q_id.scalar_mul(r)
+        h = self._message_hash(u, message)
+        v = private_key.d_id.scalar_mul((r + h) % order)
+        return Signature(
+            scheme=self.name,
+            components={"U": u.exponent, "V": v.exponent},
+            wire_bits=self.signature_bits,
+        )
+
+    def verify(
+        self,
+        public_key,
+        message: bytes,
+        signature: Signature,
+        *,
+        master_public: SOKMasterKey | G1Element | None = None,
+    ) -> bool:
+        """Verify ``e(P, V) == e(P_pub, U + h·Q_ID)``.
+
+        ``public_key`` is the signer's identity bytes (hashed with MapToPoint)
+        or a pre-computed ``Q_ID``; ``master_public`` is the PKG public key
+        (``P_pub``) or the full master key object.
+        """
+        if master_public is None:
+            raise ParameterError("SOK verification requires the PKG public key P_pub")
+        p_pub = master_public.public if isinstance(master_public, SOKMasterKey) else master_public
+        if isinstance(public_key, (bytes, bytearray)):
+            q_id = self.pairing_group.map_to_point(bytes(public_key))
+        elif isinstance(public_key, G1Element):
+            q_id = public_key
+        else:
+            raise ParameterError("SOK public key must be identity bytes or a G1 element")
+        order = self.pairing_group.order
+        u = G1Element(signature.component("U"), order)
+        v = G1Element(signature.component("V"), order)
+        h = self._message_hash(u, message)
+        left = self.pairing_group.pairing(self.pairing_group.generator, v)
+        right = self.pairing_group.pairing(p_pub, u.add(q_id.scalar_mul(h)))
+        return left == right
+
+    # ------------------------------------------------------------- op counts
+    def sign_cost(self) -> OperationCount:
+        """Two scalar multiplications in G1 (Table 2 prices "SOK" signing at 17.6 mJ)."""
+        return OperationCount(scalar_mul=2, hash_calls=1, sign_gen=1)
+
+    def verify_cost(self) -> OperationCount:
+        """Two pairings + one MapToPoint + one scalar mul (Table 2: 137.7 mJ)."""
+        return OperationCount(pairing=2, map_to_point=1, scalar_mul=1, hash_calls=1, sign_verify=1)

@@ -1,0 +1,27 @@
+"""Symmetric cryptography substrate: AES, block modes, authenticated envelopes."""
+
+from .aes import AES
+from .authenc import AuthenticatedCiphertext, SymmetricEnvelope, group_key_to_bytes
+from .modes import (
+    ctr_keystream,
+    decrypt_cbc,
+    decrypt_ctr,
+    encrypt_cbc,
+    encrypt_ctr,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+__all__ = [
+    "AES",
+    "AuthenticatedCiphertext",
+    "SymmetricEnvelope",
+    "group_key_to_bytes",
+    "ctr_keystream",
+    "decrypt_cbc",
+    "decrypt_ctr",
+    "encrypt_cbc",
+    "encrypt_ctr",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+]

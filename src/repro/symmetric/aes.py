@@ -1,0 +1,204 @@
+"""A from-scratch AES block cipher (AES-128/192/256).
+
+The dynamic protocols of the paper (Join / Leave / Merge / Partition) encrypt
+key-update material under the current group key using "a symmetric key
+encryption E_k(m)".  The paper does not name a cipher; AES is the obvious
+choice for 2006-era wireless devices, and Carman et al. (the paper's energy
+reference [3]) measure AES-class symmetric costs as orders of magnitude below
+modular exponentiation — which is exactly how the energy model treats them.
+
+This is a straightforward, readable table-based implementation:
+
+* key expansion for 128/192/256-bit keys,
+* encryption and decryption of single 16-byte blocks,
+* no side-channel hardening (this is a research simulator, not a production
+  cipher) — the docstring says so explicitly.
+
+Block modes (CTR, CBC) and padding live in :mod:`repro.symmetric.modes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = ["AES"]
+
+
+def _build_sbox() -> tuple:
+    """Construct the AES S-box from first principles (GF(2^8) inversion + affine map)."""
+    # Multiplicative inverse table in GF(2^8) with the AES polynomial 0x11B.
+    def gf_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        res = 0
+        for i in range(8):
+            bit = (
+                ((b >> i) & 1)
+                ^ ((b >> ((i + 4) % 8)) & 1)
+                ^ ((b >> ((i + 5) % 8)) & 1)
+                ^ ((b >> ((i + 6) % 8)) & 1)
+                ^ ((b >> ((i + 7) % 8)) & 1)
+                ^ ((0x63 >> i) & 1)
+            )
+            res |= bit << i
+        sbox[x] = res
+    return tuple(sbox)
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = tuple(_SBOX.index(i) for i in range(256))
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D)
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication used by (Inv)MixColumns."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES:
+    """AES block cipher with a 128-, 192- or 256-bit key.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ParameterError("AES key must be 16, 24 or 32 bytes")
+        self.key = bytes(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(self.key)
+
+    # ---------------------------------------------------------- key schedule
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        nr = self._rounds
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (nr + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        return words
+
+    def _round_key(self, round_index: int) -> List[int]:
+        words = self._round_keys[4 * round_index : 4 * round_index + 4]
+        return [b for word in words for b in word]
+
+    # ---------------------------------------------------------- block cipher
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box: Sequence[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # state is column-major: state[r + 4c]
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _gmul(col[0], 2) ^ _gmul(col[1], 3) ^ col[2] ^ col[3]
+            state[4 * c + 1] = col[0] ^ _gmul(col[1], 2) ^ _gmul(col[2], 3) ^ col[3]
+            state[4 * c + 2] = col[0] ^ col[1] ^ _gmul(col[2], 2) ^ _gmul(col[3], 3)
+            state[4 * c + 3] = _gmul(col[0], 3) ^ col[1] ^ col[2] ^ _gmul(col[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _gmul(col[0], 14) ^ _gmul(col[1], 11) ^ _gmul(col[2], 13) ^ _gmul(col[3], 9)
+            state[4 * c + 1] = _gmul(col[0], 9) ^ _gmul(col[1], 14) ^ _gmul(col[2], 11) ^ _gmul(col[3], 13)
+            state[4 * c + 2] = _gmul(col[0], 13) ^ _gmul(col[1], 9) ^ _gmul(col[2], 14) ^ _gmul(col[3], 11)
+            state[4 * c + 3] = _gmul(col[0], 11) ^ _gmul(col[1], 13) ^ _gmul(col[2], 9) ^ _gmul(col[3], 14)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(plaintext) != 16:
+            raise ParameterError("AES block must be exactly 16 bytes")
+        state = list(plaintext)
+        self._add_round_key(state, self._round_key(0))
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_key(round_index))
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_key(self._rounds))
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(ciphertext) != 16:
+            raise ParameterError("AES block must be exactly 16 bytes")
+        state = list(ciphertext)
+        self._add_round_key(state, self._round_key(self._rounds))
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_key(round_index))
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_key(0))
+        return bytes(state)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+All protocol-level tests run on the small named parameter sets
+(256-bit Schnorr group, 256-bit GQ modulus) so the suite stays fast; a handful
+of tests explicitly exercise the paper-sized 1024-bit parameters and are
+marked accordingly.  Everything is seeded, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemSetup
+from repro.energy import DeviceProfile, RADIO_100KBPS, WLAN_SPECTRUM24
+from repro.groups.params import get_gq_modulus, get_schnorr_group
+from repro.mathutils.rand import DeterministicRNG
+from repro.pki import Identity
+
+
+@pytest.fixture(scope="session")
+def small_setup() -> SystemSetup:
+    """A SystemSetup on fast test-sized parameters (shared across the session)."""
+    return SystemSetup.from_param_sets("test-256", "gq-test-256")
+
+
+@pytest.fixture(scope="session")
+def paper_setup() -> SystemSetup:
+    """A SystemSetup on the paper's 1024-bit parameters (used sparingly)."""
+    return SystemSetup.from_param_sets("ipps2006-1024", "gq-1024")
+
+
+@pytest.fixture(scope="session")
+def small_group():
+    """The small Schnorr group used by most unit tests."""
+    return get_schnorr_group("test-256")
+
+
+@pytest.fixture(scope="session")
+def small_modulus():
+    """The small GQ modulus used by most unit tests."""
+    return get_gq_modulus("gq-test-256")
+
+
+@pytest.fixture()
+def rng() -> DeterministicRNG:
+    """A fresh deterministic RNG per test."""
+    return DeterministicRNG("pytest", label="test")
+
+
+@pytest.fixture()
+def members():
+    """Six distinct identities (a convenient default group)."""
+    return [Identity(f"member-{i:02d}") for i in range(6)]
+
+
+@pytest.fixture(scope="session")
+def wlan_profile() -> DeviceProfile:
+    """StrongARM + Spectrum24 WLAN card (the paper's Table 5 configuration)."""
+    return DeviceProfile(transceiver=WLAN_SPECTRUM24)
+
+
+@pytest.fixture(scope="session")
+def radio_profile() -> DeviceProfile:
+    """StrongARM + 100 kbps radio transceiver."""
+    return DeviceProfile(transceiver=RADIO_100KBPS)

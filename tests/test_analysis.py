@@ -1,0 +1,191 @@
+"""Tests for the complexity/energy analysis layer (Tables 1, 4, 5, Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    DynamicComplexityParams,
+    FIGURE1_GROUP_SIZES,
+    INITIAL_PROTOCOLS,
+    PAPER_TABLE5_J,
+    dynamic_energy_table,
+    figure1_ascii,
+    figure1_csv,
+    figure1_report,
+    figure1_series,
+    format_table,
+    format_value,
+    initial_gka_energy_j,
+    table1_complexity,
+    table4_complexity,
+    to_csv,
+)
+from repro.energy import RADIO_100KBPS, WLAN_SPECTRUM24
+from repro.exceptions import EnergyModelError, ParameterError
+
+
+class TestTable1:
+    def test_symbolic_and_concrete_views(self):
+        symbolic = table1_complexity()
+        assert set(symbolic) == set(INITIAL_PROTOCOLS)
+        concrete = table1_complexity(100)
+        assert concrete["proposed"]["exponentiations"] == 3
+        assert concrete["proposed"]["signature_verifications"] == 1
+        assert concrete["ssn"]["exponentiations"] == 204
+        assert concrete["bd-ecdsa"]["certificate_verifications"] == 99
+        assert concrete["bd-sok"]["map_to_point"] == 99
+        assert concrete["bd-dsa"]["messages_rx"] == 198
+
+    def test_all_protocols_share_message_pattern(self):
+        concrete = table1_complexity(50)
+        for row in concrete.values():
+            assert row["messages_tx"] == 2
+            assert row["messages_rx"] == 98
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ParameterError):
+            table1_complexity(1)
+
+    def test_measured_counts_match_formulas(self, small_setup):
+        # Cross-check the closed-form Table 1 against an executed run (n = 5).
+        from repro.core import ProposedGKAProtocol
+        from repro.pki import Identity
+
+        members = [Identity(f"t1-{i}") for i in range(5)]
+        result = ProposedGKAProtocol(small_setup).run(members, seed=1)
+        expected = table1_complexity(5)["proposed"]
+        recorder = result.state.recorders()["t1-0"]
+        assert recorder.operation_count("modexp") == expected["exponentiations"]
+        assert recorder.operation_count("sign_gen_gq") == expected["signature_generations"]
+        assert recorder.operation_count("sign_ver_gq") == expected["signature_verifications"]
+        assert recorder.messages_sent == expected["messages_tx"]
+        assert recorder.messages_received == expected["messages_rx"]
+
+
+class TestTable4:
+    def test_paper_parameters(self):
+        rows = table4_complexity(DynamicComplexityParams(n=100, m=20, k=2, ld=20))
+        by_key = {(r.protocol, r.event): r for r in rows}
+        assert by_key[("bd-rerun", "join")].messages == 202
+        assert by_key[("bd-rerun", "leave")].messages == 198
+        assert by_key[("bd-rerun", "merge")].messages == 240
+        assert by_key[("bd-rerun", "partition")].messages == 160
+        assert by_key[("proposed", "join")].messages == 5
+        assert by_key[("proposed", "merge")].messages == 6
+        assert by_key[("proposed", "leave")].messages == 50 + 100 - 2
+        assert by_key[("proposed", "partition")].messages == 40 + 100 - 40
+        for row in rows:
+            if row.protocol == "proposed":
+                assert row.signature_generations == 1
+                assert row.signature_verifications == 1
+
+    def test_rows_serialise(self):
+        rows = table4_complexity()
+        assert all(set(r.as_dict()) >= {"protocol", "event", "rounds", "messages"} for r in rows)
+
+    def test_explicit_v_override(self):
+        params = DynamicComplexityParams(n=10, ld=2, v=4)
+        rows = {(r.protocol, r.event): r for r in table4_complexity(params)}
+        assert rows[("proposed", "partition")].messages == 4 + 10 - 4
+
+
+class TestFigure1:
+    def test_proposed_scheme_is_cheapest_everywhere(self):
+        series = figure1_series()
+        for index in range(len(FIGURE1_GROUP_SIZES)):
+            for transceiver in ("100kbps", "wlan"):
+                ours = series[f"proposed/{transceiver}"][index]
+                for protocol in INITIAL_PROTOCOLS:
+                    if protocol == "proposed":
+                        continue
+                    assert ours < series[f"{protocol}/{transceiver}"][index]
+
+    def test_sok_is_most_expensive_at_scale(self):
+        series = figure1_series([100, 500])
+        for index in range(2):
+            for transceiver in ("100kbps", "wlan"):
+                sok = series[f"bd-sok/{transceiver}"][index]
+                for protocol in INITIAL_PROTOCOLS:
+                    assert sok >= series[f"{protocol}/{transceiver}"][index]
+
+    def test_energy_grows_with_group_size(self):
+        series = figure1_series()
+        for values in series.values():
+            assert values == sorted(values)
+
+    def test_wlan_cheaper_than_radio(self):
+        series = figure1_series([100])
+        for protocol in INITIAL_PROTOCOLS:
+            assert series[f"{protocol}/wlan"][0] < series[f"{protocol}/100kbps"][0]
+
+    def test_point_values_are_sane(self):
+        # Proposed scheme at n=100 on WLAN: computation-dominated, well under 1 J.
+        assert initial_gka_energy_j("proposed", 100, WLAN_SPECTRUM24) < 0.5
+        # BD+SOK at n=500 on the radio: tens of Joules.
+        assert initial_gka_energy_j("bd-sok", 500, RADIO_100KBPS) > 50
+        with pytest.raises(EnergyModelError):
+            initial_gka_energy_j("unknown", 10, WLAN_SPECTRUM24)
+        with pytest.raises(EnergyModelError):
+            initial_gka_energy_j("proposed", 1, WLAN_SPECTRUM24)
+
+    def test_renderings(self):
+        csv = figure1_csv([10, 50])
+        assert "proposed/wlan" in csv and "n=10" in csv
+        ascii_chart = figure1_ascii([10])
+        assert "Figure 1" in ascii_chart and "(j)" in ascii_chart
+        assert csv in figure1_report([10, 50])
+
+
+class TestTable5:
+    def test_matches_paper_within_tolerance(self):
+        ours = dynamic_energy_table()
+        for key, paper_j in PAPER_TABLE5_J.items():
+            value = ours[key]
+            # "others" rows are sub-millijoule and dominated by rounding in the
+            # paper; allow a wider relative band there.
+            tolerance = 0.35 if paper_j < 0.01 else 0.08
+            assert abs(value - paper_j) / paper_j < tolerance, (key, value, paper_j)
+
+    def test_proposed_beats_bd_rerun_for_every_event(self):
+        ours = dynamic_energy_table()
+        assert ours[("proposed", "join", "others")] < ours[("bd-rerun", "join", "incumbent")] / 100
+        assert ours[("proposed", "leave", "odd")] < ours[("bd-rerun", "leave", "remaining")] / 5
+        assert ours[("proposed", "merge", "controller_a")] < ours[("bd-rerun", "merge", "group_a")] / 10
+        assert ours[("proposed", "partition", "even")] < ours[("bd-rerun", "partition", "remaining")] / 5
+
+    def test_radio_is_more_expensive_than_wlan(self):
+        wlan = dynamic_energy_table(transceiver=WLAN_SPECTRUM24)
+        radio = dynamic_energy_table(transceiver=RADIO_100KBPS)
+        for key in wlan:
+            assert radio[key] > wlan[key]
+
+    def test_parameter_scaling(self):
+        small = dynamic_energy_table(DynamicComplexityParams(n=20, m=5, ld=5))
+        large = dynamic_energy_table(DynamicComplexityParams(n=200, m=40, ld=40))
+        assert large[("bd-rerun", "join", "incumbent")] > small[("bd-rerun", "join", "incumbent")]
+        assert large[("proposed", "leave", "odd")] > small[("proposed", "leave", "odd")]
+        # The proposed join's active roles are O(1): nearly flat in n.
+        assert abs(
+            large[("proposed", "join", "controller")] - small[("proposed", "join", "controller")]
+        ) < 0.01
+
+
+class TestRendering:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(1.23456789, precision=3) == "1.235"
+        assert format_value(0.0000012) == "1.20e-06"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["long-name", 22.5]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len({len(line) for line in lines[2:]}) <= 2  # consistent widths
+
+    def test_to_csv(self):
+        csv = to_csv(["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert csv.splitlines()[0] == "a,b"
+        assert "2.500000" in csv

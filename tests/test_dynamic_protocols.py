@@ -1,0 +1,305 @@
+"""Integration tests for the dynamic protocols (Join, Leave, Merge, Partition),
+the BD re-execution baseline, and the high-level GroupSession API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BDRerunDynamic
+from repro.core import (
+    GroupSession,
+    JoinProtocol,
+    LeaveProtocol,
+    MergeProtocol,
+    PartitionProtocol,
+    ProposedGKAProtocol,
+)
+from repro.exceptions import MembershipError, ParameterError, ProtocolError
+from repro.network.events import JoinEvent, LeaveEvent, MergeEvent, PartitionEvent
+from repro.pki import Identity
+
+
+@pytest.fixture()
+def established(small_setup):
+    """An agreed 6-member group, re-established per test."""
+    members = [Identity(f"dyn-{i:02d}") for i in range(6)]
+    return ProposedGKAProtocol(small_setup).run(members, seed="dyn-base")
+
+
+class TestJoinProtocol:
+    def test_join_agreement_and_membership(self, small_setup, established):
+        newcomer = Identity("newcomer")
+        result = JoinProtocol(small_setup).run(established.state, newcomer, seed=1)
+        assert result.all_agree()
+        assert newcomer in result.state.ring
+        assert result.state.size == established.state.size + 1
+        assert result.state.ring.last() == newcomer
+
+    def test_key_changes_after_join(self, small_setup, established):
+        old_key = established.group_key
+        result = JoinProtocol(small_setup).run(established.state, Identity("newcomer"), seed=2)
+        assert result.group_key != old_key
+
+    def test_bystanders_do_no_exponentiations(self, small_setup, established):
+        established.state.reset_costs()
+        result = JoinProtocol(small_setup).run(established.state, Identity("newcomer"), seed=3)
+        ring = established.state.ring
+        busy = {ring.controller().name, ring.last().name, "newcomer"}
+        for name, recorder in result.state.recorders().items():
+            if name in busy:
+                assert recorder.operation_count("modexp") >= 1
+            else:
+                assert recorder.operation_count("modexp") == 0
+                assert recorder.operation_count("symmetric") == 2
+
+    def test_active_roles_cost_match_paper_counts(self, small_setup, established):
+        established.state.reset_costs()
+        result = JoinProtocol(small_setup).run(established.state, Identity("newcomer"), seed=4)
+        recorders = result.state.recorders()
+        controller = established.state.ring.controller().name
+        last = established.state.ring.last().name
+        assert recorders[controller].operation_count("modexp") == 2
+        assert recorders[controller].operation_count("sign_ver_gq") == 1
+        assert recorders[last].operation_count("modexp") == 1
+        assert recorders[last].operation_count("sign_gen_gq") == 1
+        assert recorders["newcomer"].operation_count("modexp") == 2
+        assert recorders["newcomer"].operation_count("sign_gen_gq") == 1
+
+    def test_double_join_rejected(self, small_setup, established):
+        with pytest.raises(MembershipError):
+            JoinProtocol(small_setup).run(established.state, established.state.ring.members[2])
+
+    def test_join_requires_agreed_group(self, small_setup, established):
+        established.state.party(established.state.ring.members[1]).group_key = None
+        with pytest.raises(ParameterError):
+            JoinProtocol(small_setup).run(established.state, Identity("newcomer"))
+
+
+class TestLeaveProtocol:
+    def test_leave_agreement(self, small_setup, established):
+        leaving = established.state.ring.members[2]
+        result = LeaveProtocol(small_setup).run(established.state, leaving, seed=1)
+        assert result.all_agree()
+        assert leaving not in result.state.ring
+        assert result.state.size == established.state.size - 1
+
+    def test_key_changes_and_departed_member_is_excluded(self, small_setup, established):
+        leaving = established.state.ring.members[3]
+        old_key = established.group_key
+        departed_state = established.state.party(leaving)
+        result = LeaveProtocol(small_setup).run(established.state, leaving, seed=2)
+        assert result.group_key != old_key
+        # The departed member's old view cannot be the new key and it is not
+        # part of the new state.
+        assert departed_state.group_key == old_key
+        assert leaving.name not in result.state.parties
+
+    def test_leave_of_even_and_odd_indexed_members(self, small_setup):
+        # The dynamic protocols mutate member state in place, so each leave
+        # starts from a freshly established group.
+        for index in (1, 2):  # U_2 (even) and U_3 (odd)
+            members = [Identity(f"oddeven-{index}-{i}") for i in range(6)]
+            base = ProposedGKAProtocol(small_setup).run(members, seed=index)
+            leaving = base.state.ring.members[index]
+            result = LeaveProtocol(small_setup).run(base.state, leaving, seed=index)
+            assert result.all_agree()
+
+    def test_controller_cannot_leave(self, small_setup, established):
+        with pytest.raises(MembershipError):
+            LeaveProtocol(small_setup).run(established.state, established.state.ring.controller())
+
+    def test_unknown_member_rejected(self, small_setup, established):
+        with pytest.raises(MembershipError):
+            LeaveProtocol(small_setup).run(established.state, Identity("ghost"))
+
+    def test_leaver_not_charged_for_rekeying(self, small_setup, established):
+        established.state.reset_costs()
+        leaving = established.state.ring.members[2]
+        leaving_recorder = established.state.party(leaving).recorder
+        LeaveProtocol(small_setup).run(established.state, leaving, seed=5)
+        assert leaving_recorder.rx_bits == 0
+        assert leaving_recorder.tx_bits == 0
+
+
+class TestPartitionProtocol:
+    def test_partition_agreement(self, small_setup, established):
+        leaving = [established.state.ring.members[i] for i in (1, 3)]
+        result = PartitionProtocol(small_setup).run(established.state, leaving, seed=1)
+        assert result.all_agree()
+        assert result.state.size == established.state.size - 2
+        for identity in leaving:
+            assert identity not in result.state.ring
+
+    def test_single_member_partition_equals_leave_semantics(self, small_setup, established):
+        leaving = established.state.ring.members[2]
+        result = PartitionProtocol(small_setup).run(established.state, [leaving], seed=2)
+        assert result.all_agree()
+        assert result.state.size == established.state.size - 1
+
+    def test_empty_partition_rejected(self, small_setup, established):
+        with pytest.raises(ParameterError):
+            PartitionProtocol(small_setup).run(established.state, [])
+
+    def test_partition_cannot_remove_controller(self, small_setup, established):
+        with pytest.raises(MembershipError):
+            PartitionProtocol(small_setup).run(
+                established.state, [established.state.ring.controller()]
+            )
+
+    def test_partition_cannot_empty_group(self, small_setup, established):
+        with pytest.raises(MembershipError):
+            PartitionProtocol(small_setup).run(established.state, established.state.ring.members[1:])
+
+
+class TestMergeProtocol:
+    def test_merge_agreement(self, small_setup, established):
+        other_members = [Identity(f"other-{i}") for i in range(4)]
+        other = ProposedGKAProtocol(small_setup).run(other_members, seed="other")
+        old_key_a = established.group_key
+        old_key_b = other.group_key
+        size_a = established.state.size
+        result = MergeProtocol(small_setup).run(established.state, other.state, seed=1)
+        assert result.all_agree()
+        assert result.state.size == size_a + 4
+        assert result.group_key not in (old_key_a, old_key_b)
+
+    def test_merged_ring_order(self, small_setup, established):
+        other_members = [Identity(f"ring-{i}") for i in range(3)]
+        other = ProposedGKAProtocol(small_setup).run(other_members, seed="ring")
+        result = MergeProtocol(small_setup).run(established.state, other.state, seed=2)
+        names = [m.name for m in result.state.ring.members]
+        assert names[: established.state.size] == [m.name for m in established.state.ring.members]
+        assert names[established.state.size :] == [m.name for m in other.state.ring.members]
+
+    def test_non_controllers_do_no_exponentiations(self, small_setup, established):
+        other_members = [Identity(f"cheap-{i}") for i in range(3)]
+        other = ProposedGKAProtocol(small_setup).run(other_members, seed="cheap")
+        established.state.reset_costs()
+        other.state.reset_costs()
+        result = MergeProtocol(small_setup).run(established.state, other.state, seed=3)
+        controllers = {established.state.ring.controller().name, other.state.ring.controller().name}
+        for name, recorder in result.state.recorders().items():
+            if name in controllers:
+                assert recorder.operation_count("modexp") == 4
+                assert recorder.operation_count("sign_gen_gq") == 1
+                assert recorder.operation_count("sign_ver_gq") == 1
+            else:
+                assert recorder.operation_count("modexp") == 0
+
+    def test_overlapping_groups_rejected(self, small_setup, established):
+        with pytest.raises((MembershipError, ParameterError)):
+            MergeProtocol(small_setup).run(established.state, established.state)
+
+
+class TestChainedDynamics:
+    def test_long_event_sequence_keeps_agreement(self, small_setup):
+        members = [Identity(f"chain-{i}") for i in range(5)]
+        session = GroupSession.establish(small_setup, members, seed="chain")
+        keys = {session.group_key}
+        session.join(Identity("chain-join-1"))
+        keys.add(session.group_key)
+        session.leave(members[2])
+        keys.add(session.group_key)
+        other = GroupSession.establish(small_setup, [Identity(f"chain-b-{i}") for i in range(3)], seed="chain-b")
+        session.merge(other)
+        keys.add(session.group_key)
+        session.partition([members[1], Identity("chain-b-1")])
+        keys.add(session.group_key)
+        session.join(Identity("chain-join-2"))
+        keys.add(session.group_key)
+        session.leave(Identity("chain-join-1"))
+        keys.add(session.group_key)
+        assert session.all_agree()
+        assert len(keys) == 7  # every event produced a fresh key
+
+
+class TestGroupSession:
+    def test_establish_and_symmetric_key(self, small_setup):
+        members = [Identity(f"sess-{i}") for i in range(4)]
+        session = GroupSession.establish(small_setup, members, seed=1)
+        assert session.all_agree()
+        assert len(session.symmetric_key()) == 16
+        assert len(session.symmetric_key(length=32)) == 32
+        envelope = session.envelope()
+        from repro.mathutils.rand import DeterministicRNG
+
+        sealed = envelope.seal(b"hello group", members[0].to_bytes(), DeterministicRNG(9))
+        assert envelope.open(sealed, members[0].to_bytes()) == b"hello group"
+
+    def test_apply_events(self, small_setup):
+        members = [Identity(f"ev-{i}") for i in range(5)]
+        session = GroupSession.establish(small_setup, members, seed=2)
+        session.apply_event(JoinEvent(joining=Identity("ev-new")))
+        session.apply_event(LeaveEvent(leaving=members[3]))
+        session.apply_event(PartitionEvent(leaving=(members[1],)))
+        session.apply_event(MergeEvent(other_group=(Identity("ev-m1"), Identity("ev-m2"))))
+        assert session.all_agree()
+        assert len(session.history) == 5
+        with pytest.raises(ProtocolError):
+            session.apply_event("not-an-event")  # type: ignore[arg-type]
+
+    def test_energy_report_and_reset(self, small_setup, wlan_profile, radio_profile):
+        members = [Identity(f"energy-{i}") for i in range(4)]
+        session = GroupSession.establish(small_setup, members, device=wlan_profile, seed=3)
+        report = session.energy_report()
+        assert set(report) == {m.name for m in members}
+        assert all(b.total_j > 0 for b in report.values())
+        assert session.total_energy_j(radio_profile) > session.total_energy_j(wlan_profile)
+        session.reset_energy()
+        assert session.total_energy_j() == 0.0
+
+    def test_group_key_none_until_agreement(self, small_setup):
+        members = [Identity(f"pre-{i}") for i in range(3)]
+        session = GroupSession.establish(small_setup, members, seed=4)
+        session.state.party(members[0]).group_key = 12345
+        assert session.group_key is None
+        with pytest.raises(ProtocolError):
+            session.symmetric_key()
+
+
+class TestBDRerunBaseline:
+    def test_events_reach_agreement(self, small_setup):
+        members = [Identity(f"rerun-{i}") for i in range(4)]
+        dynamic = BDRerunDynamic(small_setup)
+        established = dynamic.establish(members, seed=1)
+        joined = dynamic.join(established.state, Identity("rerun-new"), seed=2)
+        assert joined.all_agree() and joined.state.size == 5
+        left = dynamic.leave(joined.state, members[2], seed=3)
+        assert left.all_agree() and left.state.size == 4
+        partitioned = dynamic.partition(left.state, [members[1]], seed=4)
+        assert partitioned.all_agree() and partitioned.state.size == 3
+        other = dynamic.establish([Identity(f"rerun-b-{i}") for i in range(3)], seed=5)
+        merged = dynamic.merge(partitioned.state, other.state, seed=6)
+        assert merged.all_agree() and merged.state.size == 6
+
+    def test_rerun_is_much_more_expensive_than_proposed_join(self, small_setup, wlan_profile):
+        members = [Identity(f"cmp-{i}") for i in range(6)]
+        # Proposed join
+        base = ProposedGKAProtocol(small_setup).run(members, seed="cmp")
+        base.state.reset_costs()
+        joined = JoinProtocol(small_setup).run(base.state, Identity("cmp-new"), seed="cmp-join")
+        bystander = [
+            m.name for m in base.state.ring.members
+            if m.name not in (base.state.ring.controller().name, base.state.ring.last().name)
+        ][0]
+        proposed_j = wlan_profile.total_j(joined.state.recorders()[bystander])
+        # BD re-run join
+        dynamic = BDRerunDynamic(small_setup)
+        est = dynamic.establish(members, seed="cmp-bd")
+        est.state.reset_costs()
+        rerun = dynamic.join(est.state, Identity("cmp-new-bd"), seed="cmp-bd-join")
+        rerun_j = wlan_profile.total_j(rerun.state.recorders()[bystander])
+        assert rerun_j > 20 * proposed_j
+
+    def test_error_cases(self, small_setup):
+        members = [Identity(f"err-{i}") for i in range(3)]
+        dynamic = BDRerunDynamic(small_setup)
+        established = dynamic.establish(members, seed=1)
+        with pytest.raises(MembershipError):
+            dynamic.join(established.state, members[0])
+        with pytest.raises(MembershipError):
+            dynamic.leave(established.state, Identity("ghost"))
+        with pytest.raises(ParameterError):
+            dynamic.partition(established.state, members[1:])
+        with pytest.raises(MembershipError):
+            dynamic.merge(established.state, established.state)

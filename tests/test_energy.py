@@ -1,0 +1,203 @@
+"""Tests for the energy model: CPU extrapolation, transceivers, Tables 2 and 3,
+cost recording and device-profile pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import (
+    CostRecorder,
+    CommunicationCostTable,
+    DeviceProfile,
+    OperationCostTable,
+    PAPER_TABLE2_ENERGY_MJ,
+    PAPER_TABLE3_MJ,
+    PENTIUM_III_1GHZ,
+    PENTIUM_III_450,
+    RADIO_100KBPS,
+    STRONGARM_SA1110,
+    WLAN_SPECTRUM24,
+    derive_piii450_timings,
+    energy_mj_from_time,
+    extrapolate_time_ms,
+    get_transceiver,
+    scale_by_clock,
+)
+from repro.exceptions import EnergyModelError
+
+
+class TestCPUModels:
+    def test_strongarm_modexp_anchor(self):
+        # 9.1 mJ at 240 mW -> 37.92 ms (paper Section 6).
+        assert STRONGARM_SA1110.power_mw == 240.0
+        assert abs(STRONGARM_SA1110.modexp_ms - 37.9166) < 0.01
+        assert abs(STRONGARM_SA1110.energy_mj(STRONGARM_SA1110.modexp_ms) - 9.1) < 1e-9
+
+    def test_extrapolation_rule(self):
+        # alpha = gamma / 8.8 * 37.92  (paper equation 4)
+        alpha = extrapolate_time_ms(17.6)
+        assert abs(alpha - 17.6 / 8.8 * STRONGARM_SA1110.modexp_ms) < 1e-9
+        assert abs(energy_mj_from_time(alpha) - 18.2) < 0.02
+
+    def test_clock_scaling(self):
+        assert abs(scale_by_clock(20.0, PENTIUM_III_1GHZ, PENTIUM_III_450) - 44.444) < 0.01
+
+    def test_reference_cpus_have_no_power_model(self):
+        with pytest.raises(EnergyModelError):
+            PENTIUM_III_450.energy_mj(10.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(EnergyModelError):
+            extrapolate_time_ms(-1.0)
+
+
+class TestOperationCostTable:
+    def test_reproduces_paper_table2(self):
+        table = OperationCostTable()
+        for operation, paper_mj in PAPER_TABLE2_ENERGY_MJ.items():
+            ours = table.energy_mj(operation)
+            assert abs(ours - paper_mj) / paper_mj < 0.03, (operation, ours, paper_mj)
+
+    def test_map_to_point_derived_from_ibe_difference(self):
+        timings = derive_piii450_timings()
+        assert abs(timings["map_to_point"] - (35 - 27) * 1000 / 450) < 0.01
+        assert abs(timings["tate_pairing"] - 20 * 1000 / 450) < 0.01
+
+    def test_symmetric_and_hash_are_negligible(self):
+        table = OperationCostTable()
+        assert table.energy_mj("symmetric") < 0.1 * table.energy_mj("modexp")
+        assert table.energy_mj("hash") < table.energy_mj("symmetric") + 1e-9
+        assert table.time_ms("symmetric") > 0
+
+    def test_unknown_operation_rejected(self):
+        table = OperationCostTable()
+        with pytest.raises(EnergyModelError):
+            table.energy_mj("quantum_annealing")
+        with pytest.raises(EnergyModelError):
+            table.signature_operation("rsa", "gen")
+        with pytest.raises(EnergyModelError):
+            table.signature_operation("gq", "make")
+
+    def test_energy_j_scaling(self):
+        table = OperationCostTable()
+        assert abs(table.energy_j("modexp", 1000) - 9.1) < 0.01
+        with pytest.raises(EnergyModelError):
+            table.energy_j("modexp", -1)
+
+    def test_as_table_shape(self):
+        rows = OperationCostTable().as_table()
+        assert "sign_ver_sok" in rows
+        assert set(rows["modexp"]) == {"strongarm_mj", "strongarm_ms", "piii450_ms"}
+
+    def test_signature_operation_mapping(self):
+        table = OperationCostTable()
+        assert table.signature_operation("gq", "gen") == "sign_gen_gq"
+        assert table.signature_operation("ecdsa", "ver") == "sign_ver_ecdsa"
+
+
+class TestTransceivers:
+    def test_paper_per_bit_constants(self):
+        assert RADIO_100KBPS.tx_uj_per_bit == 10.8
+        assert RADIO_100KBPS.rx_uj_per_bit == 7.51
+        assert WLAN_SPECTRUM24.tx_uj_per_bit == 0.66
+        assert WLAN_SPECTRUM24.rx_uj_per_bit == 0.31
+
+    def test_energy_scaling(self):
+        assert abs(RADIO_100KBPS.tx_energy_mj(2104) - 22.72) < 0.01
+        assert abs(WLAN_SPECTRUM24.rx_energy_mj(2104) - 0.652) < 0.01
+        with pytest.raises(EnergyModelError):
+            RADIO_100KBPS.tx_energy_mj(-1)
+
+    def test_airtime(self):
+        assert abs(RADIO_100KBPS.airtime_ms(100_000) - 1000.0) < 1e-9
+
+    def test_lookup(self):
+        assert get_transceiver("wlan") is WLAN_SPECTRUM24
+        with pytest.raises(EnergyModelError):
+            get_transceiver("5g")
+
+
+class TestCommunicationCostTable:
+    def test_reproduces_paper_table3(self):
+        table = CommunicationCostTable()
+        for key, paper_mj in PAPER_TABLE3_MJ.items():
+            ours = table.cost_mj(*key)
+            assert abs(ours - paper_mj) <= max(0.02, 0.02 * paper_mj), (key, ours, paper_mj)
+
+    def test_per_bit_rows(self):
+        rows = CommunicationCostTable().per_bit_rows()
+        assert rows[("tx", "100kbps")] == 10.8
+        assert rows[("rx", "wlan")] == 0.31
+
+    def test_unknown_entries_rejected(self):
+        table = CommunicationCostTable()
+        with pytest.raises(EnergyModelError):
+            table.cost_mj("tls_handshake", "tx", "wlan")
+        with pytest.raises(EnergyModelError):
+            table.cost_mj("gq_signature", "sideways", "wlan")
+        with pytest.raises(EnergyModelError):
+            table.cost_mj("gq_signature", "tx", "zigbee")
+
+    def test_full_table_coverage(self):
+        table = CommunicationCostTable().as_table()
+        assert len(table) == 6 * 2 * 2
+
+
+class TestCostRecorderAndProfiles:
+    def test_recording_and_snapshot(self):
+        recorder = CostRecorder("node")
+        recorder.record_operation("modexp", 3)
+        recorder.record_signature("gq", "gen")
+        recorder.record_tx(1000)
+        recorder.record_rx(2000, messages=2)
+        snap = recorder.snapshot()
+        assert snap["modexp"] == 3 and snap["sign_gen_gq"] == 1
+        assert snap["tx_bits"] == 1000 and snap["rx_bits"] == 2000
+        assert recorder.messages_sent == 1 and recorder.messages_received == 2
+        assert recorder.operation_count("modexp") == 3
+        assert recorder.operation_count("missing") == 0
+
+    def test_invalid_recordings(self):
+        recorder = CostRecorder()
+        with pytest.raises(EnergyModelError):
+            recorder.record_operation("modexp", -1)
+        with pytest.raises(EnergyModelError):
+            recorder.record_signature("gq", "neither")
+        with pytest.raises(EnergyModelError):
+            recorder.record_tx(-5)
+        with pytest.raises(EnergyModelError):
+            recorder.record_rx(-5)
+
+    def test_merge(self):
+        a, b = CostRecorder("a"), CostRecorder("b")
+        a.record_operation("modexp", 1)
+        b.record_operation("modexp", 2)
+        a.record_tx(10)
+        b.record_rx(20)
+        merged = a.merge(b)
+        assert merged.operation_count("modexp") == 3
+        assert merged.tx_bits == 10 and merged.rx_bits == 20
+
+    def test_profile_pricing_matches_hand_computation(self):
+        recorder = CostRecorder("node")
+        recorder.record_operation("modexp", 3)
+        recorder.record_signature("gq", "gen")
+        recorder.record_signature("gq", "ver")
+        recorder.record_tx(4160)
+        recorder.record_rx(4160 * 9)
+        profile = DeviceProfile(transceiver=WLAN_SPECTRUM24)
+        breakdown = profile.price(recorder)
+        expected_comp = (3 * 9.1 + 18.2 + 18.2) / 1000.0
+        assert abs(breakdown.computation_j - expected_comp) < 0.001
+        assert abs(breakdown.tx_j - 4160 * 0.66e-6) < 1e-9
+        assert abs(breakdown.rx_j - 4160 * 9 * 0.31e-6) < 1e-9
+        assert abs(breakdown.total_j - (breakdown.computation_j + breakdown.communication_j)) < 1e-12
+        assert breakdown.per_operation_j["modexp"] == pytest.approx(3 * 9.1 / 1000.0, rel=1e-6)
+
+    def test_profile_transceiver_swap(self):
+        recorder = CostRecorder("node")
+        recorder.record_rx(10_000)
+        wlan = DeviceProfile(transceiver=WLAN_SPECTRUM24)
+        radio = wlan.with_transceiver(RADIO_100KBPS)
+        assert radio.total_j(recorder) > wlan.total_j(recorder)
+        assert radio.cpu is wlan.cpu

@@ -1,0 +1,195 @@
+"""Tests for identities, the identity registry, the PKGs and the CA."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError, VerificationError
+from repro.groups.pairing import SimulatedPairingGroup
+from repro.hashing.hashfuncs import HashFunction
+from repro.mathutils.rand import DeterministicRNG
+from repro.pki import (
+    Certificate,
+    CertificateAuthority,
+    DSA_CERT_BYTES,
+    ECDSA_CERT_BYTES,
+    IDENTITY_BITS,
+    Identity,
+    IdentityRegistry,
+    PrivateKeyGenerator,
+    SOKPrivateKeyGenerator,
+)
+from repro.signatures import DSASignatureScheme, ECDSASignatureScheme
+
+
+class TestIdentity:
+    def test_derived_value_is_deterministic(self):
+        assert Identity("alice").value == Identity("alice").value
+        assert Identity("alice").value != Identity("bob").value
+
+    def test_explicit_value(self):
+        identity = Identity("alice", value=0x12345678)
+        assert identity.value == 0x12345678
+        assert identity.to_bytes() == b"\x12\x34\x56\x78"
+
+    def test_wire_size_is_32_bits(self):
+        assert Identity("x").wire_bits == IDENTITY_BITS == 32
+        assert len(Identity("x").to_bytes()) == 4
+
+    def test_invalid_identities(self):
+        with pytest.raises(ParameterError):
+            Identity("")
+        with pytest.raises(ParameterError):
+            Identity("x", value=2**32)
+
+    def test_string_forms(self):
+        identity = Identity("node-1")
+        assert str(identity) == "node-1"
+        assert "node-1" in repr(identity)
+
+
+class TestIdentityRegistry:
+    def test_register_and_lookup(self):
+        registry = IdentityRegistry()
+        alice = registry.create("alice")
+        assert registry.get("alice") == alice
+        assert alice in registry
+        assert len(registry) == 1
+        assert list(registry) == [alice]
+
+    def test_double_registration_is_idempotent(self):
+        registry = IdentityRegistry()
+        a1 = registry.create("alice")
+        a2 = registry.register(Identity("alice"))
+        assert a1 == a2
+        assert len(registry) == 1
+
+    def test_value_collision_rejected(self):
+        registry = IdentityRegistry()
+        registry.register(Identity("alice", value=7))
+        with pytest.raises(ParameterError):
+            registry.register(Identity("bob", value=7))
+        with pytest.raises(ParameterError):
+            registry.register(Identity("alice", value=8))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ParameterError):
+            IdentityRegistry().get("ghost")
+
+    def test_create_many(self):
+        registry = IdentityRegistry()
+        identities = registry.create_many(5, prefix="sensor")
+        assert len(identities) == 5
+        assert identities[0].name == "sensor-000"
+        assert len(registry) == 5
+
+
+class TestGQPrivateKeyGenerator:
+    def test_extraction_requires_registration(self, small_modulus):
+        pkg = PrivateKeyGenerator(small_modulus)
+        with pytest.raises(ParameterError):
+            pkg.extract(Identity("unregistered"))
+
+    def test_extracted_key_satisfies_gq_equation(self, small_modulus):
+        pkg = PrivateKeyGenerator(small_modulus)
+        identity = pkg.registry.create("alice")
+        key = pkg.extract(identity)
+        params = pkg.params
+        assert pow(key.secret, params.e, params.n) == params.identity_public_key(identity.to_bytes())
+
+    def test_extraction_is_cached(self, small_modulus):
+        pkg = PrivateKeyGenerator(small_modulus)
+        identity = pkg.registry.create("alice")
+        assert pkg.extract(identity) is pkg.extract(identity)
+        assert pkg.issued_count == 1
+
+    def test_register_and_extract_shortcut(self, small_modulus):
+        pkg = PrivateKeyGenerator(small_modulus)
+        key = pkg.register_and_extract(Identity("bob"))
+        assert key.identity == Identity("bob").to_bytes()
+
+    def test_default_paper_parameters(self):
+        pkg = PrivateKeyGenerator()
+        assert pkg.params.modulus_bits == 1024
+
+    def test_secret_not_in_repr(self, small_modulus):
+        pkg = PrivateKeyGenerator(small_modulus)
+        key = pkg.register_and_extract(Identity("carol"))
+        assert str(key.secret) not in repr(key)
+
+
+class TestSOKPrivateKeyGenerator:
+    def test_extract_consistency(self, small_group):
+        pairing = SimulatedPairingGroup(small_group)
+        pkg = SOKPrivateKeyGenerator(pairing, DeterministicRNG("sok-pkg"))
+        identity = pkg.registry.create("alice")
+        key = pkg.extract(identity)
+        # D_ID = s * Q_ID in the exponent representation of the simulator.
+        assert key.d_id.exponent == (key.q_id.exponent * pkg.master_public.secret) % pairing.order
+        assert pkg.extract(identity) is key
+
+    def test_requires_registration(self, small_group):
+        pkg = SOKPrivateKeyGenerator(SimulatedPairingGroup(small_group), DeterministicRNG(0))
+        with pytest.raises(ParameterError):
+            pkg.extract(Identity("ghost"))
+
+
+class TestCertificateAuthority:
+    @pytest.fixture()
+    def ecdsa_ca(self):
+        return CertificateAuthority(ECDSASignatureScheme(), DeterministicRNG("ca-ecdsa"))
+
+    def test_issue_and_verify_ecdsa(self, ecdsa_ca, rng):
+        scheme = ECDSASignatureScheme()
+        subject_key = scheme.generate_keypair(rng)
+        certificate = ecdsa_ca.issue(Identity("alice"), subject_key.public)
+        assert ecdsa_ca.verify(certificate)
+        ecdsa_ca.verify_or_raise(certificate)
+        assert ecdsa_ca.issued(Identity("alice")) == certificate
+
+    def test_issue_and_verify_dsa(self, small_group, rng):
+        scheme = DSASignatureScheme(small_group)
+        ca = CertificateAuthority(scheme, DeterministicRNG("ca-dsa"))
+        subject_key = scheme.generate_keypair(rng)
+        certificate = ca.issue(Identity("bob"), subject_key.public)
+        assert ca.verify(certificate)
+
+    def test_tampered_certificate_rejected(self, ecdsa_ca, rng):
+        scheme = ECDSASignatureScheme()
+        subject_key = scheme.generate_keypair(rng)
+        certificate = ecdsa_ca.issue(Identity("alice"), subject_key.public)
+        forged = Certificate(
+            subject=Identity("mallory"),
+            scheme=certificate.scheme,
+            public_key_encoding=certificate.public_key_encoding,
+            validity=certificate.validity,
+            ca_signature=certificate.ca_signature,
+            issuer=certificate.issuer,
+        )
+        assert not ecdsa_ca.verify(forged)
+        with pytest.raises(VerificationError):
+            ecdsa_ca.verify_or_raise(forged)
+
+    def test_wrong_issuer_rejected(self, ecdsa_ca, rng):
+        other_ca = CertificateAuthority(ECDSASignatureScheme(), DeterministicRNG("other"), name="other-ca")
+        key = ECDSASignatureScheme().generate_keypair(rng)
+        certificate = other_ca.issue(Identity("alice"), key.public)
+        assert not ecdsa_ca.verify(certificate)
+
+    def test_paper_wire_sizes(self, ecdsa_ca, small_group, rng):
+        ecdsa_key = ECDSASignatureScheme().generate_keypair(rng)
+        ecdsa_cert = ecdsa_ca.issue(Identity("a"), ecdsa_key.public)
+        assert ecdsa_cert.wire_bits == 8 * ECDSA_CERT_BYTES == 688
+        dsa_scheme = DSASignatureScheme(small_group)
+        dsa_ca = CertificateAuthority(dsa_scheme, DeterministicRNG("dsa"))
+        dsa_cert = dsa_ca.issue(Identity("b"), dsa_scheme.generate_keypair(rng).public)
+        assert dsa_cert.wire_bits == 8 * DSA_CERT_BYTES == 2104
+
+    def test_encode_public_key_validation(self, ecdsa_ca):
+        from repro.groups.curves import TINY_CURVE
+
+        with pytest.raises(ParameterError):
+            CertificateAuthority.encode_public_key(TINY_CURVE.infinity)
+        with pytest.raises(ParameterError):
+            CertificateAuthority.encode_public_key("not-a-key")
+        assert CertificateAuthority.encode_public_key(255) == b"\xff"

@@ -1,0 +1,160 @@
+"""Unit and property tests for :mod:`repro.mathutils.primes`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.mathutils.primes import (
+    RSAModulus,
+    SMALL_PRIMES,
+    generate_rsa_modulus,
+    generate_schnorr_parameters,
+    is_probable_prime,
+    miller_rabin,
+    next_prime,
+    random_prime,
+    random_safe_prime,
+)
+from repro.mathutils.rand import DeterministicRNG
+
+
+def _naive_is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    for d in range(2, int(n**0.5) + 1):
+        if n % d == 0:
+            return False
+    return True
+
+
+class TestPrimalityTest:
+    def test_small_values(self):
+        for n in range(-5, 200):
+            assert is_probable_prime(n) == _naive_is_prime(n), n
+
+    def test_known_large_prime(self):
+        assert is_probable_prime(2**61 - 1)
+        assert not is_probable_prime(2**61 + 1)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for carmichael in (561, 1105, 1729, 41041, 825265):
+            assert not is_probable_prime(carmichael)
+
+    def test_sieve_contents(self):
+        assert SMALL_PRIMES[:10] == (2, 3, 5, 7, 11, 13, 17, 19, 23, 29)
+        assert all(_naive_is_prime(p) for p in SMALL_PRIMES[:100])
+
+    def test_miller_rabin_single_round(self):
+        assert miller_rabin(97, 2)
+        assert not miller_rabin(91, 2)  # 91 = 7 * 13, 2 is a witness
+
+    @given(st.integers(min_value=3, max_value=100000))
+    def test_matches_naive(self, n):
+        assert is_probable_prime(n) == _naive_is_prime(n)
+
+
+class TestNextPrime:
+    def test_basic(self):
+        assert next_prime(10) == 11
+        assert next_prime(11) == 13
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30)
+    def test_result_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n
+        assert is_probable_prime(p)
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self):
+        rng = DeterministicRNG(1)
+        for bits in (8, 16, 32, 64, 128):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_deterministic_for_seed(self):
+        assert random_prime(64, DeterministicRNG(7)) == random_prime(64, DeterministicRNG(7))
+
+    def test_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            random_prime(1, DeterministicRNG(0))
+
+    def test_safe_prime(self):
+        rng = DeterministicRNG(3)
+        p = random_safe_prime(32, rng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+        assert p.bit_length() == 32
+
+
+class TestSchnorrParameters:
+    def test_structure(self):
+        rng = DeterministicRNG("schnorr-test")
+        p, q, g = generate_schnorr_parameters(128, 32, rng)
+        assert p.bit_length() == 128
+        assert q.bit_length() == 32
+        assert (p - 1) % q == 0
+        assert pow(g, q, p) == 1
+        assert g != 1
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_generator_has_order_q_not_one(self):
+        rng = DeterministicRNG("schnorr-test-2")
+        p, q, g = generate_schnorr_parameters(96, 32, rng)
+        # g's order divides q and q is prime, so order is exactly q unless g == 1.
+        assert pow(g, 1, p) != 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ParameterError):
+            generate_schnorr_parameters(64, 64, DeterministicRNG(0))
+
+    def test_deterministic(self):
+        a = generate_schnorr_parameters(96, 32, DeterministicRNG("same"))
+        b = generate_schnorr_parameters(96, 32, DeterministicRNG("same"))
+        assert a == b
+
+
+class TestRSAModulus:
+    def test_structure_and_validation(self):
+        modulus = generate_rsa_modulus(128, DeterministicRNG("rsa-test"))
+        modulus.validate()
+        assert modulus.n == modulus.p * modulus.q
+        assert modulus.bits == 128
+        assert math.gcd(modulus.e, modulus.phi) == 1
+        assert (modulus.e * modulus.d) % modulus.phi == 1
+
+    def test_rsa_trapdoor_roundtrip(self):
+        modulus = generate_rsa_modulus(96, DeterministicRNG("rsa-roundtrip"))
+        message = 0x1234567
+        cipher = pow(message, modulus.e, modulus.n)
+        assert pow(cipher, modulus.d, modulus.n) == message
+
+    def test_custom_exponent(self):
+        modulus = generate_rsa_modulus(96, DeterministicRNG("rsa-e3"), e=17)
+        assert modulus.e == 17
+        modulus.validate()
+
+    def test_validation_catches_corruption(self):
+        good = generate_rsa_modulus(96, DeterministicRNG("rsa-bad"))
+        bad = RSAModulus(n=good.n + 2, p=good.p, q=good.q, e=good.e, d=good.d)
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+    def test_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            generate_rsa_modulus(8, DeterministicRNG(0))
+
+    def test_deterministic(self):
+        a = generate_rsa_modulus(96, DeterministicRNG("same-rsa"))
+        b = generate_rsa_modulus(96, DeterministicRNG("same-rsa"))
+        assert a == b

@@ -1,0 +1,136 @@
+"""Property-based tests on whole-protocol invariants.
+
+These use hypothesis to drive the protocols with randomly chosen group sizes
+and randomly ordered membership-event sequences, checking the invariants the
+paper's correctness rests on:
+
+* every honest run ends with all members agreeing on the key,
+* every membership event changes the key (key freshness),
+* departed members are removed from the state and never charged for the
+  re-keying traffic,
+* Lemma 1 (the X-product telescopes to 1) holds for arbitrary exponent
+  choices, not just protocol-generated ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GroupSession,
+    ProposedGKAProtocol,
+    SystemSetup,
+    compute_bd_key,
+    compute_bd_x_value,
+    verify_x_product,
+)
+from repro.groups.params import get_schnorr_group
+from repro.pki import Identity
+
+_SETUP = SystemSetup.from_param_sets("test-256", "gq-test-256")
+_SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+class TestBDAlgebraProperties:
+    @given(
+        exponents=st.lists(st.integers(min_value=1, max_value=2**30), min_size=2, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_for_arbitrary_exponents(self, exponents):
+        group = get_schnorr_group("test-128")
+        exponents = [e % group.q or 1 for e in exponents]
+        n = len(exponents)
+        z = [group.exp_g(r) for r in exponents]
+        x_values = [
+            compute_bd_x_value(group, z[(i + 1) % n], z[(i - 1) % n], exponents[i]) for i in range(n)
+        ]
+        assert verify_x_product(group, x_values)
+
+    @given(
+        exponents=st.lists(st.integers(min_value=1, max_value=2**30), min_size=2, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_member_derives_the_same_bd_key(self, exponents):
+        group = get_schnorr_group("test-128")
+        exponents = [e % group.q or 1 for e in exponents]
+        n = len(exponents)
+        names = [f"p{i}" for i in range(n)]
+        z_table = {names[i]: group.exp_g(exponents[i]) for i in range(n)}
+        x_table = {
+            names[i]: compute_bd_x_value(
+                group, z_table[names[(i + 1) % n]], z_table[names[(i - 1) % n]], exponents[i]
+            )
+            for i in range(n)
+        }
+        keys = {
+            compute_bd_key(group, names, names[i], exponents[i], z_table, x_table) for i in range(n)
+        }
+        assert len(keys) == 1
+        expected_exponent = sum(exponents[i] * exponents[(i + 1) % n] for i in range(n)) % group.q
+        assert keys.pop() == pow(group.g, expected_exponent, group.p)
+
+
+class TestProtocolProperties:
+    @given(size=st.integers(min_value=2, max_value=8), seed=st.integers(min_value=0, max_value=10**6))
+    @_SLOW
+    def test_gka_always_agrees(self, size, seed):
+        members = [Identity(f"prop-{seed}-{i}") for i in range(size)]
+        result = ProposedGKAProtocol(_SETUP).run(members, seed=seed)
+        assert result.all_agree()
+        assert _SETUP.group.is_subgroup_element(result.group_key)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        events=st.lists(st.sampled_from(["join", "leave", "partition", "merge"]), min_size=1, max_size=5),
+    )
+    @_SLOW
+    def test_event_sequences_preserve_agreement_and_freshness(self, seed, events):
+        members = [Identity(f"seq-{seed}-{i}") for i in range(5)]
+        session = GroupSession.establish(_SETUP, members, seed=seed)
+        seen_keys = {session.group_key}
+        counter = 0
+        for event in events:
+            counter += 1
+            if event == "join":
+                session.join(Identity(f"seq-{seed}-new-{counter}"))
+            elif event == "leave":
+                removable = [m for m in session.members[1:]]
+                if len(session.members) <= 3 or not removable:
+                    session.join(Identity(f"seq-{seed}-new-{counter}"))
+                else:
+                    session.leave(removable[counter % len(removable)])
+            elif event == "partition":
+                removable = session.members[1:]
+                if len(session.members) <= 4:
+                    session.join(Identity(f"seq-{seed}-new-{counter}"))
+                else:
+                    session.partition(removable[: 2])
+            else:  # merge
+                other_members = [Identity(f"seq-{seed}-m{counter}-{i}") for i in range(2)]
+                other = GroupSession.establish(_SETUP, other_members, seed=f"{seed}-{counter}")
+                session.merge(other)
+            assert session.all_agree()
+            assert session.group_key not in seen_keys  # key freshness after every event
+            seen_keys.add(session.group_key)
+        # Membership bookkeeping stayed consistent.
+        assert len(session.members) == len(set(m.name for m in session.members))
+        assert set(session.state.parties) == {m.name for m in session.members}
+
+    @given(size=st.integers(min_value=3, max_value=7), seed=st.integers(min_value=0, max_value=1000))
+    @_SLOW
+    def test_leave_removes_exactly_one_member_and_changes_key(self, size, seed):
+        members = [Identity(f"lv-{seed}-{i}") for i in range(size)]
+        session = GroupSession.establish(_SETUP, members, seed=seed)
+        old_key = session.group_key
+        victim = session.members[1 + seed % (size - 1)]
+        session.leave(victim)
+        assert victim.name not in {m.name for m in session.members}
+        assert len(session.members) == size - 1
+        assert session.group_key != old_key
+        assert session.all_agree()

@@ -1,0 +1,125 @@
+"""Tests for the deterministic RNG."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.mathutils.rand import DeterministicRNG, default_rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = DeterministicRNG(42), DeterministicRNG(42)
+        assert [a.getrandbits(64) for _ in range(10)] == [b.getrandbits(64) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a, b = DeterministicRNG(1), DeterministicRNG(2)
+        assert [a.getrandbits(64) for _ in range(4)] != [b.getrandbits(64) for _ in range(4)]
+
+    def test_seed_types(self):
+        assert DeterministicRNG(b"abc").getrandbits(32) == DeterministicRNG(b"abc").getrandbits(32)
+        assert DeterministicRNG("abc").getrandbits(32) == DeterministicRNG("abc").getrandbits(32)
+        with pytest.raises(ParameterError):
+            DeterministicRNG(3.14)  # type: ignore[arg-type]
+
+    def test_fork_independent_streams(self):
+        parent = DeterministicRNG(5)
+        child_a = parent.fork("a")
+        child_b = parent.fork("b")
+        assert child_a.getrandbits(64) != child_b.getrandbits(64)
+        # forking again with the same label reproduces the same stream
+        assert parent.fork("a").getrandbits(64) == DeterministicRNG(5).fork("a").getrandbits(64)
+
+    def test_default_rng_helper(self):
+        assert default_rng(9).getrandbits(16) == DeterministicRNG(9).getrandbits(16)
+
+
+class TestRanges:
+    def test_getrandbits_bounds(self):
+        rng = DeterministicRNG(0)
+        for bits in (1, 7, 32, 200):
+            for _ in range(20):
+                assert 0 <= rng.getrandbits(bits) < 2**bits
+        assert rng.getrandbits(0) == 0
+
+    def test_randbelow_bounds(self):
+        rng = DeterministicRNG(1)
+        for bound in (1, 2, 17, 1000):
+            for _ in range(30):
+                assert 0 <= rng.randbelow(bound) < bound
+        with pytest.raises(ParameterError):
+            rng.randbelow(0)
+
+    def test_randint_inclusive(self):
+        rng = DeterministicRNG(2)
+        values = {rng.randint(3, 5) for _ in range(100)}
+        assert values == {3, 4, 5}
+        with pytest.raises(ParameterError):
+            rng.randint(5, 3)
+
+    def test_exact_bits(self):
+        rng = DeterministicRNG(3)
+        for bits in (2, 8, 64):
+            for _ in range(10):
+                v = rng.random_bits_exact(bits)
+                assert v.bit_length() == bits
+                o = rng.random_odd_bits_exact(bits)
+                assert o.bit_length() == bits and o % 2 == 1
+
+    def test_random_bytes(self):
+        rng = DeterministicRNG(4)
+        assert len(rng.random_bytes(33)) == 33
+        assert rng.random_bytes(0) == b""
+        with pytest.raises(ParameterError):
+            rng.random_bytes(-1)
+
+
+class TestGroupDraws:
+    def test_zq_star_range(self):
+        rng = DeterministicRNG(5)
+        q = 101
+        for _ in range(50):
+            v = rng.zq_star(q)
+            assert 1 <= v < q
+        with pytest.raises(ParameterError):
+            rng.zq_star(2)
+
+    def test_zn_star_coprimality(self):
+        rng = DeterministicRNG(6)
+        n = 3 * 5 * 7 * 11
+        for _ in range(50):
+            v = rng.zn_star(n)
+            assert 1 <= v < n
+            assert math.gcd(v, n) == 1
+
+
+class TestCollections:
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(7)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely with this seed
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRNG(8)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 3)
+        assert len(sample) == 3 and len(set(sample)) == 3
+        assert set(sample) <= set(items)
+        with pytest.raises(ParameterError):
+            rng.choice([])
+        with pytest.raises(ParameterError):
+            rng.sample(items, 9)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_randbelow_uniform_support(self, bound):
+        rng = DeterministicRNG(bound)
+        assert 0 <= rng.randbelow(bound) < bound

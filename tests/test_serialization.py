@@ -1,0 +1,104 @@
+"""Tests for wire-format helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SerializationError
+from repro.mathutils.serialization import (
+    bit_size,
+    byte_size,
+    bytes_to_int,
+    concat_bits,
+    decode_fields,
+    encode_fields,
+    i2osp,
+    int_to_bytes,
+    os2ip,
+)
+
+
+class TestIntBytes:
+    def test_minimal_encoding(self):
+        assert int_to_bytes(0) == b"\x00"
+        assert int_to_bytes(255) == b"\xff"
+        assert int_to_bytes(256) == b"\x01\x00"
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+        assert i2osp(65535, 4) == b"\x00\x00\xff\xff"
+
+    def test_too_small_length_raises(self):
+        with pytest.raises(SerializationError):
+            int_to_bytes(256, 1)
+
+    def test_negative_raises(self):
+        with pytest.raises(SerializationError):
+            int_to_bytes(-1)
+
+    def test_roundtrip(self):
+        for value in (0, 1, 255, 256, 2**128 - 1, 12345678901234567890):
+            assert bytes_to_int(int_to_bytes(value)) == value
+            assert os2ip(i2osp(value, 32)) == value
+
+    @given(st.integers(min_value=0, max_value=2**512))
+    def test_roundtrip_property(self, value):
+        assert bytes_to_int(int_to_bytes(value)) == value
+
+
+class TestSizes:
+    def test_bit_size_int(self):
+        assert bit_size(0) == 1
+        assert bit_size(1) == 1
+        assert bit_size(255) == 8
+        assert bit_size(256) == 9
+
+    def test_bit_size_bytes(self):
+        assert bit_size(b"abc") == 24
+
+    def test_bit_size_negative_raises(self):
+        with pytest.raises(SerializationError):
+            bit_size(-3)
+
+    def test_byte_size(self):
+        assert byte_size(255) == 1
+        assert byte_size(256) == 2
+        assert byte_size(b"abcd") == 4
+
+    def test_concat_bits(self):
+        assert concat_bits([8, 16, 32]) == 56
+        assert concat_bits([]) == 0
+
+
+class TestFieldEncoding:
+    def test_roundtrip(self):
+        fields = [b"", b"hello", b"\x00" * 100, bytes(range(256))]
+        assert decode_fields(encode_fields(fields)) == fields
+
+    def test_empty_record(self):
+        assert decode_fields(encode_fields([])) == []
+
+    def test_unambiguous_concatenation(self):
+        # a||bc and ab||c must encode differently (the reason we never hash
+        # naive concatenations).
+        assert encode_fields([b"a", b"bc"]) != encode_fields([b"ab", b"c"])
+
+    def test_truncated_record_raises(self):
+        blob = encode_fields([b"hello"])
+        with pytest.raises(SerializationError):
+            decode_fields(blob[:-1])
+        with pytest.raises(SerializationError):
+            decode_fields(blob[:3])
+        with pytest.raises(SerializationError):
+            decode_fields(b"")
+
+    def test_trailing_bytes_raise(self):
+        blob = encode_fields([b"x"]) + b"junk"
+        with pytest.raises(SerializationError):
+            decode_fields(blob)
+
+    @given(st.lists(st.binary(max_size=200), max_size=10))
+    def test_roundtrip_property(self, fields):
+        assert decode_fields(encode_fields(fields)) == fields
