@@ -34,8 +34,12 @@ from .core import (
     PartitionProtocol,
     PartyState,
     ProposedGKAProtocol,
+    Protocol,
     ProtocolResult,
     SystemSetup,
+    available_protocols,
+    create_protocol,
+    register_protocol,
 )
 from .energy import (
     CostRecorder,
@@ -75,9 +79,13 @@ __all__ = [
     "MergeProtocol",
     "PartitionProtocol",
     "PartyState",
+    "Protocol",
     "ProposedGKAProtocol",
     "ProtocolResult",
     "SystemSetup",
+    "available_protocols",
+    "create_protocol",
+    "register_protocol",
     # energy
     "CostRecorder",
     "DeviceProfile",

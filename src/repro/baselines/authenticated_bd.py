@@ -42,24 +42,31 @@ from ..signatures.sok import SOKSignatureScheme
 from ..core.base import (
     GroupState,
     PartyState,
+    Protocol,
     ProtocolResult,
     SystemSetup,
     compute_bd_key,
     compute_bd_x_value,
 )
+from ..core.registry import register_protocol
 
 __all__ = ["AuthenticatedBDProtocol", "SUPPORTED_SCHEMES"]
 
 SUPPORTED_SCHEMES = ("sok", "ecdsa", "dsa")
 
 
-class AuthenticatedBDProtocol:
-    """BD authenticated by signing every Round 2 message (the paper's baselines)."""
+class AuthenticatedBDProtocol(Protocol):
+    """BD authenticated by signing every Round 2 message (the paper's baselines).
+
+    Like every baseline, membership events re-execute the full GKA (the
+    inherited :meth:`~repro.core.base.Protocol.apply_event`) — this is the
+    very re-execution cost Tables 4 and 5 hold against the baselines.
+    """
 
     def __init__(self, setup: SystemSetup, scheme: str = "ecdsa", *, seed: object = "auth-bd-infra") -> None:
         if scheme not in SUPPORTED_SCHEMES:
             raise ParameterError(f"scheme must be one of {SUPPORTED_SCHEMES}, got {scheme!r}")
-        self.setup = setup
+        super().__init__(setup)
         self.scheme_name = scheme
         self.name = f"bd-{scheme}"
         infra_rng = DeterministicRNG(seed, label=f"auth-bd-{scheme}")
@@ -108,7 +115,7 @@ class AuthenticatedBDProtocol:
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label=self.name)
         group = self.setup.group
 
@@ -237,3 +244,11 @@ class AuthenticatedBDProtocol:
             y = int.from_bytes(encoding[size:], "big")
             return curve.point(x, y)
         return int.from_bytes(encoding, "big")
+
+
+for _scheme in SUPPORTED_SCHEMES:
+    register_protocol(
+        f"bd-{_scheme}",
+        # Bind the loop variable eagerly so each factory keeps its own scheme.
+        lambda setup, scheme=_scheme: AuthenticatedBDProtocol(setup, scheme),
+    )

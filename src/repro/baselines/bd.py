@@ -22,22 +22,25 @@ from ..pki.identity import Identity
 from ..core.base import (
     GroupState,
     PartyState,
+    Protocol,
     ProtocolResult,
     SystemSetup,
     compute_bd_key,
     compute_bd_x_value,
 )
+from ..core.registry import register_protocol
 
 __all__ = ["BurmesterDesmedtProtocol"]
 
 
-class BurmesterDesmedtProtocol:
-    """Plain BD group key agreement (no authentication)."""
+class BurmesterDesmedtProtocol(Protocol):
+    """Plain BD group key agreement (no authentication).
+
+    No dynamic sub-protocols: membership events fall back to
+    :meth:`~repro.core.base.Protocol.apply_event`'s full re-execution.
+    """
 
     name = "bd-unauthenticated"
-
-    def __init__(self, setup: SystemSetup) -> None:
-        self.setup = setup
 
     def run(
         self,
@@ -50,7 +53,7 @@ class BurmesterDesmedtProtocol:
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label="bd")
         group = self.setup.group
 
@@ -124,3 +127,6 @@ class BurmesterDesmedtProtocol:
         state = GroupState(setup=self.setup, ring=ring, parties=parties)
         state.group_key = parties[ring.controller().name].group_key
         return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+
+
+register_protocol("bd-unauthenticated", BurmesterDesmedtProtocol, aliases=("bd",))

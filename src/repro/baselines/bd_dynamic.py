@@ -19,25 +19,44 @@ from typing import List, Optional, Sequence
 from ..exceptions import MembershipError, ParameterError
 from ..network.medium import BroadcastMedium
 from ..pki.identity import Identity
-from ..core.base import GroupState, ProtocolResult, SystemSetup
-from .authenticated_bd import AuthenticatedBDProtocol
+from ..core.base import GroupState, Protocol, ProtocolResult, SystemSetup
+from ..core.registry import register_protocol
+from .authenticated_bd import SUPPORTED_SCHEMES, AuthenticatedBDProtocol
 
 __all__ = ["BDRerunDynamic"]
 
 
-class BDRerunDynamic:
-    """Handle membership events by re-running authenticated BD from scratch."""
+class BDRerunDynamic(Protocol):
+    """Handle membership events by re-running authenticated BD from scratch.
+
+    Conforms to :class:`~repro.core.base.Protocol`: :meth:`run` is the initial
+    establishment and the inherited
+    :meth:`~repro.core.base.Protocol.apply_event` re-executes over the
+    post-event membership.  The explicit ``join``/``leave``/``merge``/
+    ``partition`` methods below predate the strategy interface and add the
+    membership validation the paper's experiment scripts rely on.
+    """
 
     def __init__(self, setup: SystemSetup, scheme: str = "ecdsa") -> None:
-        self.setup = setup
+        super().__init__(setup)
         self.scheme = scheme
         self._protocol = AuthenticatedBDProtocol(setup, scheme)
         self.name = f"bd-rerun-{scheme}"
 
     # ------------------------------------------------------------------ events
-    def establish(self, members: Sequence[Identity], *, seed: object = 0) -> ProtocolResult:
+    def run(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
         """Initial key establishment (plain authenticated BD run)."""
-        return self._protocol.run(members, seed=seed)
+        return self._protocol.run(members, medium=medium, seed=seed)
+
+    def establish(self, members: Sequence[Identity], *, seed: object = 0) -> ProtocolResult:
+        """Backwards-compatible alias for :meth:`run`."""
+        return self.run(members, seed=seed)
 
     def join(
         self,
@@ -98,3 +117,11 @@ class BDRerunDynamic:
         if len(members) < 2:
             raise ParameterError("cannot shrink the group below two members")
         return self._protocol.run(members, medium=medium, seed=seed)
+
+
+for _scheme in SUPPORTED_SCHEMES:
+    register_protocol(
+        f"bd-rerun-{_scheme}",
+        # Bind the loop variable eagerly so each factory keeps its own scheme.
+        lambda setup, scheme=_scheme: BDRerunDynamic(setup, scheme),
+    )

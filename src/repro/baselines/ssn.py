@@ -41,22 +41,25 @@ from ..pki.identity import Identity
 from ..core.base import (
     GroupState,
     PartyState,
+    Protocol,
     ProtocolResult,
     SystemSetup,
     compute_bd_key,
     compute_bd_x_value,
 )
+from ..core.registry import register_protocol
 
 __all__ = ["SSNProtocol"]
 
 
-class SSNProtocol:
-    """ID-based BD with per-member implicit authentication (the SSN baseline)."""
+class SSNProtocol(Protocol):
+    """ID-based BD with per-member implicit authentication (the SSN baseline).
+
+    No dynamic sub-protocols: membership events re-execute the full run via
+    the inherited :meth:`~repro.core.base.Protocol.apply_event`.
+    """
 
     name = "ssn"
-
-    def __init__(self, setup: SystemSetup) -> None:
-        self.setup = setup
 
     def run(
         self,
@@ -69,7 +72,7 @@ class SSNProtocol:
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label="ssn")
         group = self.setup.group
         params = self.setup.gq_params
@@ -116,7 +119,11 @@ class SSNProtocol:
             )
 
         # Each member verifies every other member's authenticator: two modular
-        # exponentiations per member, the 2(n-1) term of Table 1.
+        # exponentiations per member, the 2(n-1) term of Table 1.  The check
+        # is a pure function of the broadcast (sender, z, t, s) that every
+        # receiver evaluates identically, so its *outcome* is memoised for the
+        # run; each receiver still records its own two exponentiations.
+        check_cache: Dict[tuple, bool] = {}
         z_views: Dict[str, Dict[str, int]] = {}
         for identity in ring.members:
             party = parties[identity.name]
@@ -126,13 +133,17 @@ class SSNProtocol:
                 z_value = int(message.value("z"))
                 t_value = int(message.value("t"))
                 s_value = int(message.value("s"))
-                challenge = params.hash_function.challenge(
-                    sender.to_bytes(), int_to_bytes(z_value), int_to_bytes(t_value)
-                )
-                hid = params.identity_public_key(sender.to_bytes())
-                check = (pow(s_value, params.e, params.n) * pow(modinv(hid, params.n), challenge, params.n)) % params.n
+                cache_key = (sender.name, z_value, t_value, s_value)
+                accepted = check_cache.get(cache_key)
+                if accepted is None:
+                    challenge = params.hash_function.challenge(
+                        sender.to_bytes(), int_to_bytes(z_value), int_to_bytes(t_value)
+                    )
+                    hid = params.identity_public_key(sender.to_bytes())
+                    check = (pow(s_value, params.e, params.n) * pow(modinv(hid, params.n), challenge, params.n)) % params.n
+                    accepted = check_cache[cache_key] = check == t_value
                 party.recorder.record_operation("modexp", 2)
-                if check != t_value:
+                if not accepted:
                     raise VerificationError(
                         f"{identity.name} rejected {sender.name}'s SSN authenticator"
                     )
@@ -173,3 +184,6 @@ class SSNProtocol:
         state = GroupState(setup=self.setup, ring=ring, parties=parties)
         state.group_key = parties[ring.controller().name].group_key
         return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+
+
+register_protocol("ssn", SSNProtocol)

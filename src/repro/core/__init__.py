@@ -5,6 +5,7 @@ its four dynamic protocols (Join, Leave, Merge, Partition) and the high-level
 from .base import (
     GroupState,
     PartyState,
+    Protocol,
     ProtocolResult,
     SystemSetup,
     compute_bd_key,
@@ -16,11 +17,13 @@ from .join import JoinProtocol
 from .leave import LeaveProtocol
 from .merge import MergeProtocol
 from .partition import PartitionProtocol
+from .registry import available_protocols, create_protocol, register_protocol
 from .session import GroupSession
 
 __all__ = [
     "GroupState",
     "PartyState",
+    "Protocol",
     "ProtocolResult",
     "SystemSetup",
     "compute_bd_key",
@@ -32,4 +35,7 @@ __all__ = [
     "MergeProtocol",
     "PartitionProtocol",
     "GroupSession",
+    "available_protocols",
+    "create_protocol",
+    "register_protocol",
 ]

@@ -20,16 +20,19 @@ its four dynamic protocols and the baselines have in common:
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from ..energy.accounting import CostRecorder, DeviceProfile
 from ..exceptions import KeyConfirmationError, ParameterError, ProtocolError
 from ..groups.params import PAPER_GQ_SET, PAPER_SCHNORR_SET, get_gq_modulus, get_schnorr_group
 from ..groups.schnorr import SchnorrGroup
 from ..hashing.hashfuncs import HashFunction
+from ..mathutils.modular import multi_exp
 from ..mathutils.primes import RSAModulus, generate_rsa_modulus, generate_schnorr_parameters
 from ..mathutils.rand import DeterministicRNG
+from ..network.events import MembershipEvent, membership_after
 from ..network.medium import BroadcastMedium
 from ..network.node import Node
 from ..network.topology import RingTopology
@@ -42,6 +45,7 @@ __all__ = [
     "PartyState",
     "GroupState",
     "ProtocolResult",
+    "Protocol",
     "compute_bd_x_value",
     "compute_bd_key",
     "verify_x_product",
@@ -200,6 +204,18 @@ class GroupState:
         """The group key as held by each member (for agreement checks)."""
         return {name: state.group_key for name, state in self.parties.items()}
 
+    def agreed_key(self) -> Optional[int]:
+        """The group key if every member holds the same one, else ``None``.
+
+        This is the single source of truth for the "what key did the group
+        agree on" question; :attr:`ProtocolResult.group_key` and
+        :attr:`~repro.core.session.GroupSession.group_key` both delegate here.
+        """
+        keys = set(self.keys_by_member().values())
+        if len(keys) == 1:
+            return next(iter(keys))
+        return None
+
     def all_agree(self) -> bool:
         """Whether every member holds the same, non-null group key."""
         keys = list(self.keys_by_member().values())
@@ -227,10 +243,7 @@ class ProtocolResult:
     @property
     def group_key(self) -> Optional[int]:
         """The agreed group key (``None`` if the members disagree)."""
-        keys = set(self.state.keys_by_member().values())
-        if len(keys) == 1:
-            return next(iter(keys))
-        return None
+        return self.state.agreed_key()
 
     def all_agree(self) -> bool:
         """Whether every member computed the same key."""
@@ -246,6 +259,83 @@ class ProtocolResult:
     def total_messages(self) -> int:
         """Number of messages placed on the medium during the run."""
         return self.medium.total_messages()
+
+
+# ---------------------------------------------------------------------------
+# Protocol strategy interface
+# ---------------------------------------------------------------------------
+
+class Protocol(abc.ABC):
+    """Common strategy interface over every group-key-agreement protocol.
+
+    The proposed protocol and all baselines expose the same two entry points:
+
+    * :meth:`run` — establish a key among a member list from scratch;
+    * :meth:`apply_event` — transform an established :class:`GroupState`
+      under a :mod:`repro.network.events` membership event.
+
+    Protocols that have no dynamic sub-protocols (every baseline) inherit the
+    default :meth:`apply_event`, which re-executes :meth:`run` over the
+    post-event membership — exactly the BD-re-execution semantics the paper's
+    Tables 4 and 5 compare against.  The proposed protocol overrides it to
+    dispatch to its Join/Leave/Merge/Partition protocols, and advertises that
+    via :attr:`supported_events`.
+
+    Protocols are selected by :attr:`name` through
+    :mod:`repro.core.registry`, so runners, benchmarks and the
+    :mod:`repro.sim` scenario engine never import concrete classes.
+    """
+
+    #: Registry name of the protocol (subclasses must set this).
+    name: str = ""
+    #: Membership-event kinds (``"join"``, ``"leave"``, ``"merge"``,
+    #: ``"partition"``) this protocol handles natively, i.e. without a full
+    #: re-execution of the initial GKA.
+    supported_events: FrozenSet[str] = frozenset()
+
+    def __init__(self, setup: "SystemSetup") -> None:
+        self.setup = setup
+
+    @abc.abstractmethod
+    def run(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> "ProtocolResult":
+        """Establish a group key among ``members`` and return the result."""
+
+    def handles_natively(self, event: MembershipEvent) -> bool:
+        """Whether ``event`` is served by a dedicated dynamic sub-protocol."""
+        return getattr(event, "kind", None) in self.supported_events
+
+    def apply_event(
+        self,
+        state: GroupState,
+        event: MembershipEvent,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> "ProtocolResult":
+        """Apply a membership event, returning the post-event result.
+
+        Default implementation: full re-execution of :meth:`run` over the
+        post-event membership.  The previous members' nodes are detached from
+        the medium first — re-running attaches fresh nodes for the surviving
+        members, and departed members must stop receiving (and being charged
+        for) traffic.
+        """
+        members = membership_after(state.members, event)
+        if medium is not None:
+            for member in state.members:
+                medium.detach(member)
+        return self.run(members, medium=medium, seed=seed)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        native = ", ".join(sorted(self.supported_events)) or "none (re-runs the GKA)"
+        return f"{self.name} (native dynamic events: {native})"
 
 
 # ---------------------------------------------------------------------------
@@ -295,12 +385,17 @@ def compute_bd_key(
     except ValueError:
         raise ParameterError(f"{member_name!r} is not in the ring") from None
     left_name = ring_names[(position - 1) % n]
-    key = group.power(z_table[left_name], n * r_i)
+    # One simultaneous multi-exponentiation instead of n independent ones:
+    # the single q-sized exponent n·r_i drives the shared squaring chain and
+    # the n-1 small X exponents ride along, so the work no longer grows with
+    # a full exponentiation per member.
+    bases = [z_table[left_name]]
+    exponents = [n * r_i]
     for offset in range(n - 1):
         name = ring_names[(position + offset) % n]
-        exponent = n - 1 - offset
-        key = (key * group.power(x_table[name], exponent)) % group.p
-    return key
+        bases.append(x_table[name])
+        exponents.append(n - 1 - offset)
+    return multi_exp(bases, exponents, group.p)
 
 
 def verify_x_product(group: SchnorrGroup, x_values: Sequence[int]) -> bool:

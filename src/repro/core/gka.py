@@ -35,6 +35,13 @@ from ..exceptions import BatchVerificationError, KeyConfirmationError, Parameter
 from ..mathutils.modular import product_mod
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import int_to_bytes
+from ..network.events import (
+    JoinEvent,
+    LeaveEvent,
+    MembershipEvent,
+    MergeEvent,
+    PartitionEvent,
+)
 from ..network.medium import BroadcastMedium
 from ..network.message import Message, group_element_part, identity_part
 from ..network.node import Node
@@ -44,12 +51,14 @@ from ..signatures.gq import gq_batch_verify, gq_commitment, gq_response
 from .base import (
     GroupState,
     PartyState,
+    Protocol,
     ProtocolResult,
     SystemSetup,
     compute_bd_key,
     compute_bd_x_value,
     verify_x_product,
 )
+from .registry import register_protocol
 
 __all__ = ["ProposedGKAProtocol", "TamperFunction"]
 
@@ -59,13 +68,16 @@ __all__ = ["ProposedGKAProtocol", "TamperFunction"]
 TamperFunction = Callable[[Message, int], Message]
 
 
-class ProposedGKAProtocol:
+class ProposedGKAProtocol(Protocol):
     """The paper's initial GKA protocol ("Our Prop. sch." column of Table 1)."""
 
     name = "proposed-gka"
+    #: All four membership events are served by dedicated dynamic protocols —
+    #: no full re-execution is ever needed.
+    supported_events = frozenset({"join", "leave", "merge", "partition"})
 
     def __init__(self, setup: SystemSetup, *, max_retransmissions: int = 2) -> None:
-        self.setup = setup
+        super().__init__(setup)
         self.max_retransmissions = max_retransmissions
 
     # ------------------------------------------------------------------ setup
@@ -101,7 +113,7 @@ class ProposedGKAProtocol:
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label="proposed-gka")
         parties = self._build_parties(members, medium, rng)
         group = self.setup.group
@@ -158,6 +170,48 @@ class ProposedGKAProtocol:
         state = GroupState(setup=self.setup, ring=ring, parties=parties)
         state.group_key = parties[ring.controller().name].group_key
         return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+
+    # ---------------------------------------------------------- dynamic events
+    def apply_event(
+        self,
+        state: GroupState,
+        event: MembershipEvent,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+    ) -> ProtocolResult:
+        """Dispatch a membership event to the matching dynamic protocol.
+
+        Unlike the re-execution default inherited by the baselines, every
+        event here runs the paper's dedicated Join/Leave/Merge/Partition
+        protocol over the existing :class:`GroupState`.  For a merge, the
+        incoming group is first keyed among itself on a private medium (it is
+        a separate radio domain until the networks actually meet), then the
+        two controllers run the Merge protocol on the shared medium.
+        """
+        # Imported here: the dynamic-protocol modules import from this
+        # package's base and would otherwise form a cycle at import time.
+        from .join import JoinProtocol
+        from .leave import LeaveProtocol
+        from .merge import MergeProtocol
+        from .partition import PartitionProtocol
+
+        if isinstance(event, JoinEvent):
+            return JoinProtocol(self.setup).run(state, event.joining, medium=medium, seed=seed)
+        if isinstance(event, LeaveEvent):
+            return LeaveProtocol(self.setup).run(state, event.leaving, medium=medium, seed=seed)
+        if isinstance(event, PartitionEvent):
+            return PartitionProtocol(self.setup).run(
+                state, list(event.leaving), medium=medium, seed=seed
+            )
+        if isinstance(event, MergeEvent):
+            other = self.run(list(event.other_group), seed=f"{seed}|merge-other")
+            # The incoming group was keyed before the networks met; clear its
+            # establishment costs so the merge step is charged only with what
+            # the Merge protocol itself does (the paper's Table 5 accounting).
+            other.state.reset_costs()
+            return MergeProtocol(self.setup).run(state, other.state, medium=medium, seed=seed)
+        raise ProtocolError(f"unknown membership event {event!r}")
 
     # ----------------------------------------------------------- round 2 body
     def _round2_and_verify(
@@ -250,3 +304,6 @@ class ProposedGKAProtocol:
             party.recorder.record_operation("modexp")  # (z_{i-1})^{n r_i}
             party.group_key = key
         return all_verified
+
+
+register_protocol("proposed-gka", ProposedGKAProtocol, aliases=("proposed",))

@@ -68,7 +68,7 @@ class JoinProtocol:
             raise MembershipError(f"{joining.name!r} is already a group member")
         group = self.setup.group
         rng = DeterministicRNG(seed, label="join")
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         for member in state.ring.members:
             medium.attach(state.party(member).node)
 

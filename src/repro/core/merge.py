@@ -67,7 +67,7 @@ class MergeProtocol:
 
         group = self.setup.group
         rng = DeterministicRNG(seed, label="merge")
-        medium = medium or BroadcastMedium()
+        medium = medium if medium is not None else BroadcastMedium()
         for member in list(state_a.ring) + list(state_b.ring):
             source = state_a if member in state_a.ring else state_b
             medium.attach(source.party(member).node)

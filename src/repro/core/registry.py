@@ -1,0 +1,100 @@
+"""Name-based protocol registry.
+
+Runners, benchmarks and the :mod:`repro.sim` scenario engine select protocols
+by name instead of importing concrete classes:
+
+>>> from repro.core.registry import create_protocol, available_protocols
+>>> "proposed-gka" in available_protocols()
+True
+>>> protocol = create_protocol("bd-ecdsa", setup)        # doctest: +SKIP
+
+Every protocol registers a factory ``setup -> Protocol`` under its canonical
+``name`` (plus optional aliases).  The built-in protocols — the proposed
+ID-based GKA and all the paper's baselines — are registered lazily on first
+lookup, so importing this module stays cheap and free of import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..exceptions import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import Protocol, SystemSetup
+
+__all__ = [
+    "register_protocol",
+    "create_protocol",
+    "available_protocols",
+    "resolve_protocol",
+]
+
+#: canonical name -> factory(setup) -> Protocol
+_FACTORIES: Dict[str, Callable[["SystemSetup"], "Protocol"]] = {}
+#: alias -> canonical name
+_ALIASES: Dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def register_protocol(
+    name: str,
+    factory: Callable[["SystemSetup"], "Protocol"],
+    *,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+) -> None:
+    """Register a protocol factory under ``name`` (plus ``aliases``).
+
+    ``factory`` is any callable taking a :class:`~repro.core.base.SystemSetup`
+    and returning a :class:`~repro.core.base.Protocol`; protocol classes whose
+    constructor takes only the setup can be registered directly.
+    """
+    if not name:
+        raise ParameterError("protocol name cannot be empty")
+    if not replace and (name in _FACTORIES or name in _ALIASES):
+        raise ParameterError(f"protocol {name!r} is already registered")
+    _FACTORIES[name] = factory
+    for alias in aliases:
+        if not replace and (alias in _FACTORIES or alias in _ALIASES):
+            raise ParameterError(f"protocol alias {alias!r} is already registered")
+        _ALIASES[alias] = name
+
+
+def _load_builtins() -> None:
+    """Import the modules that register the built-in protocols (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    # The imports run each module's registration side effects.  The flag is
+    # only set on success so that a transient import failure surfaces again
+    # on the next lookup instead of masquerading as "unknown protocol".
+    from . import gka  # noqa: F401
+    from .. import baselines  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def resolve_protocol(name: str) -> str:
+    """Canonicalise a protocol name or alias, raising on unknown names."""
+    _load_builtins()
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _FACTORIES:
+        raise ParameterError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        )
+    return canonical
+
+
+def create_protocol(name: str, setup: "SystemSetup") -> "Protocol":
+    """Instantiate the protocol registered under ``name`` (or an alias)."""
+    return _FACTORIES[resolve_protocol(name)](setup)
+
+
+def available_protocols(*, include_aliases: bool = False) -> List[str]:
+    """Sorted canonical protocol names (optionally with aliases)."""
+    _load_builtins()
+    names = set(_FACTORIES)
+    if include_aliases:
+        names |= set(_ALIASES)
+    return sorted(names)

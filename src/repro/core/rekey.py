@@ -75,7 +75,7 @@ def run_departure_rekey(
     group = setup.group
     params = setup.gq_params
     rng = DeterministicRNG(seed, label=protocol_name)
-    medium = medium or BroadcastMedium()
+    medium = medium if medium is not None else BroadcastMedium()
 
     old_ring = state.ring
     new_ring = old_ring.with_partition([i for i in departing]) if len(departing) > 1 else old_ring.with_leave(departing[0])

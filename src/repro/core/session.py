@@ -78,8 +78,7 @@ class GroupSession:
     @property
     def group_key(self) -> Optional[int]:
         """The current group key (a group element), if agreed."""
-        keys = set(self.state.keys_by_member().values())
-        return next(iter(keys)) if len(keys) == 1 else None
+        return self.state.agreed_key()
 
     def all_agree(self) -> bool:
         """Whether every member currently holds the same key."""

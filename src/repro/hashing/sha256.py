@@ -13,6 +13,7 @@ The public API mirrors :mod:`hashlib`: ``PureSHA256(data).digest()`` /
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from typing import Iterable
 
@@ -129,8 +130,16 @@ class PureSHA256:
 
 
 def sha256_digest(*parts: bytes) -> bytes:
-    """One-shot SHA-256 of the concatenation of ``parts``."""
-    h = PureSHA256()
+    """One-shot SHA-256 of the concatenation of ``parts``.
+
+    Delegates to :mod:`hashlib`'s C implementation: the output is the same
+    function bit for bit (the tests cross-check :class:`PureSHA256` against
+    :mod:`hashlib` and this helper against both), and this one-shot path sits
+    under every challenge hash and identity mapping — at scenario scale it
+    runs millions of times, where the pure-Python compression loop would
+    dominate the whole simulation.
+    """
+    h = hashlib.sha256()
     for part in parts:
         h.update(part)
     return h.digest()

@@ -33,6 +33,8 @@ __all__ = [
     "legendre",
     "int_nth_root",
     "is_perfect_square",
+    "FixedBaseExp",
+    "multi_exp",
 ]
 
 
@@ -176,6 +178,125 @@ def product_mod(values: Iterable[int], modulus: int) -> int:
     for v in values:
         acc = (acc * v) % modulus
     return acc
+
+
+class FixedBaseExp:
+    """Fixed-base modular exponentiation via windowed precomputation.
+
+    Every protocol's Round 1 computes ``z_i = g^{r_i} mod p`` for the *same*
+    base ``g``; a scenario sweep over hundreds of members repeats that
+    exponentiation thousands of times.  This class trades a one-time table of
+    ``g^{j · 2^{w·i}} mod m`` (for every window digit ``j`` and block ``i``)
+    for exponentiations that need only ``ceil(bits/w) - 1`` multiplications
+    and **no squarings**: write ``e`` in base ``2^w`` as digits ``d_i``, then
+    ``g^e = prod_i table[i][d_i]``.
+
+    Results are exactly ``pow(base, exponent, modulus)`` — the tests assert
+    bit-identity — and exponents wider than ``max_bits`` transparently fall
+    back to builtin :func:`pow`.
+
+    Parameters
+    ----------
+    base / modulus:
+        The fixed base and modulus.
+    max_bits:
+        Largest exponent width the table covers (e.g. the subgroup order's
+        bit length for a Schnorr group).
+    window:
+        Window width ``w`` in bits.  The table holds
+        ``ceil(max_bits/w) · 2^w`` residues; ``w = 5`` keeps that near 1000
+        entries for 160-bit exponents, amortising after a handful of calls.
+    """
+
+    __slots__ = ("base", "modulus", "window", "max_bits", "_mask", "_table")
+
+    def __init__(self, base: int, modulus: int, max_bits: int, window: int = 5) -> None:
+        if modulus <= 0:
+            raise ParameterError(f"modulus must be positive, got {modulus}")
+        if max_bits <= 0:
+            raise ParameterError(f"max_bits must be positive, got {max_bits}")
+        if not 1 <= window <= 16:
+            raise ParameterError(f"window must be in [1, 16], got {window}")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.max_bits = max_bits
+        self._mask = (1 << window) - 1
+        blocks = (max_bits + window - 1) // window
+        table = []
+        block_base = self.base
+        for _ in range(blocks):
+            row = [1] * (1 << window)
+            row[1] = block_base
+            for j in range(2, 1 << window):
+                row[j] = (row[j - 1] * block_base) % modulus
+            table.append(row)
+            # The next block's base is block_base^(2^window).
+            block_base = (row[-1] * block_base) % modulus
+        self._table = table
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent mod modulus``, identical to builtin ``pow``."""
+        if exponent < 0:
+            raise ParameterError("FixedBaseExp handles non-negative exponents only")
+        if exponent >> self.max_bits:
+            return pow(self.base, exponent, self.modulus)
+        result = 1
+        modulus = self.modulus
+        mask = self._mask
+        window = self.window
+        for row in self._table:
+            if exponent == 0:
+                break
+            digit = exponent & mask
+            if digit:
+                result = (result * row[digit]) % modulus
+            exponent >>= window
+        return result
+
+    __call__ = pow
+
+
+def multi_exp(bases: Sequence[int], exponents: Sequence[int], modulus: int) -> int:
+    """Simultaneous multi-exponentiation ``prod bases[i]**exponents[i] mod modulus``.
+
+    Uses Straus's interleaved square-and-multiply: one shared squaring chain
+    over the widest exponent, multiplying in each base at its set bits.  For
+    the Burmester–Desmedt key — one ``q``-sized exponent plus ``n - 1`` tiny
+    exponents ``n-1, n-2, ..., 1`` — this replaces ``n`` independent
+    exponentiations with a single pass, cutting the squaring work to that of
+    the one wide exponent.
+
+    Negative exponents are supported by inverting the base first (the
+    protocols need this for ``(z_{i-1})^{-r_i}``-style terms).
+    """
+    if modulus <= 0:
+        raise ParameterError(f"modulus must be positive, got {modulus}")
+    if len(bases) != len(exponents):
+        raise ParameterError("bases and exponents must have the same length")
+    # Bucket pairs by exponent width (log-scale) so the many narrow exponents
+    # of a BD key don't ride the single wide exponent's full squaring chain:
+    # the buckets' chains are independent and their results simply multiply.
+    buckets: dict = {}
+    for base, exponent in zip(bases, exponents):
+        if exponent < 0:
+            base = modinv(base, modulus)
+            exponent = -exponent
+        if exponent == 0:
+            continue
+        width = exponent.bit_length()
+        buckets.setdefault(width.bit_length(), []).append((base % modulus, exponent))
+    result = 1 % modulus
+    for pairs in buckets.values():
+        acc = 1
+        top = max(exponent.bit_length() for _, exponent in pairs)
+        for bit in range(top - 1, -1, -1):
+            acc = (acc * acc) % modulus
+            for base, exponent in pairs:
+                if (exponent >> bit) & 1:
+                    acc = (acc * base) % modulus
+        result = (result * acc) % modulus
+    return result
 
 
 def int_nth_root(x: int, n: int) -> int:

@@ -24,6 +24,7 @@ __all__ = [
     "PartitionEvent",
     "MembershipEvent",
     "EventTraceGenerator",
+    "membership_after",
 ]
 
 
@@ -60,6 +61,25 @@ class PartitionEvent:
 
 
 MembershipEvent = Union[JoinEvent, LeaveEvent, MergeEvent, PartitionEvent]
+
+
+def membership_after(members: Sequence[Identity], event: MembershipEvent) -> List[Identity]:
+    """The member list after applying ``event`` (ring order preserved).
+
+    This is the single definition of each event's effect on membership; the
+    trace generator and the protocols' re-execution fallback
+    (:meth:`repro.core.base.Protocol.apply_event`) both use it.
+    """
+    if isinstance(event, JoinEvent):
+        return list(members) + [event.joining]
+    if isinstance(event, LeaveEvent):
+        return [m for m in members if m.name != event.leaving.name]
+    if isinstance(event, MergeEvent):
+        return list(members) + list(event.other_group)
+    if isinstance(event, PartitionEvent):
+        gone = {identity.name for identity in event.leaving}
+        return [m for m in members if m.name not in gone]
+    raise ParameterError(f"unknown membership event {event!r}")
 
 
 class EventTraceGenerator:
@@ -144,13 +164,5 @@ class EventTraceGenerator:
         for _ in range(length):
             event = self.next_event(members, min_group_size=min_group_size)
             events.append(event)
-            if isinstance(event, JoinEvent):
-                members.append(event.joining)
-            elif isinstance(event, LeaveEvent):
-                members = [m for m in members if m.name != event.leaving.name]
-            elif isinstance(event, MergeEvent):
-                members.extend(event.other_group)
-            elif isinstance(event, PartitionEvent):
-                gone = {identity.name for identity in event.leaving}
-                members = [m for m in members if m.name not in gone]
+            members = membership_after(members, event)
         return events

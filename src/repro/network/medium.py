@@ -134,8 +134,17 @@ class BroadcastMedium:
         """Number of distinct messages placed on the medium."""
         return len(self.transcript)
 
-    def total_bits(self) -> int:
-        """Total bits placed on the medium (one copy per message, ignoring retries)."""
+    def total_bits(self, *, include_retries: bool = False) -> int:
+        """Total bits placed on the medium.
+
+        By default each message counts once, whatever it took to deliver.
+        With ``include_retries=True`` every retransmitted copy counts too, so
+        on a lossy medium the figure matches the transmission bits the
+        senders' recorders were actually charged — which is what energy
+        reports for lossy scenarios must use.
+        """
+        if include_retries:
+            return sum(receipt.message.wire_bits * receipt.attempts for receipt in self.receipts)
         return sum(message.wire_bits for message in self.transcript)
 
     def messages_for_round(self, round_label: str) -> List[Message]:

@@ -65,8 +65,16 @@ class PrivateKeyGenerator:
     # ------------------------------------------------------------ public API
     @property
     def params(self) -> GQParameters:
-        """The public parameters ``(n, e, H)`` distributed to every user."""
-        return GQParameters(n=self._modulus.n, e=self._modulus.e, hash_function=self._hash)
+        """The public parameters ``(n, e, H)`` distributed to every user.
+
+        The same object is returned on every access so that its memoised
+        ``H(ID)`` values survive across protocol runs.
+        """
+        cached = getattr(self, "_params", None)
+        if cached is None:
+            cached = GQParameters(n=self._modulus.n, e=self._modulus.e, hash_function=self._hash)
+            self._params = cached
+        return cached
 
     def extract(self, identity: Identity) -> GQPrivateKey:
         """Extract ``S_ID = H(ID)^d mod n`` for a registered identity.

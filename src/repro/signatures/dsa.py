@@ -19,6 +19,10 @@ from .base import KeyPair, OperationCount, Signature, SignatureScheme
 
 __all__ = ["DSASignatureScheme", "DSAKeyPair"]
 
+#: Verification memo bound (see DSASignatureScheme.verify); entries are only
+#: re-hit within one broadcast round, so overflow simply resets the memo.
+_VERIFY_CACHE_LIMIT = 4096
+
 
 @dataclass(frozen=True)
 class DSAKeyPair:
@@ -36,6 +40,8 @@ class DSASignatureScheme(SignatureScheme):
     def __init__(self, group: SchnorrGroup, hash_function: HashFunction | None = None) -> None:
         self.group = group
         self.hash_function = hash_function or HashFunction(output_bits=group.q_bits)
+        #: (y, message, r, s) -> outcome; see :meth:`verify`.
+        self._verify_cache: dict = {}
 
     # -------------------------------------------------------------- key mgmt
     def generate_keypair(self, rng: DeterministicRNG) -> DSAKeyPair:
@@ -66,12 +72,33 @@ class DSASignatureScheme(SignatureScheme):
         return Signature(scheme=self.name, components={"r": r, "s": s}, wire_bits=self.signature_bits)
 
     def verify(self, public_key, message: bytes, signature: Signature) -> bool:
-        """Standard DSA verification: check ``r == (g^{u1} y^{u2} mod p) mod q``."""
+        """Standard DSA verification: check ``r == (g^{u1} y^{u2} mod p) mod q``.
+
+        Verification is a pure function of ``(y, message, r, s)`` and in the
+        broadcast protocols every one of the ``n - 1`` receivers verifies the
+        *same* triple, so the outcome is memoised per scheme instance.  Each
+        receiver still records its own verification cost — the memo saves
+        simulation host time, not modelled device energy.
+        """
         y = public_key.public if isinstance(public_key, DSAKeyPair) else int(public_key)
         q = self.group.q
         r, s = signature.component("r"), signature.component("s")
         if not (0 < r < q and 0 < s < q):
             return False
+        key = (y, message, r, s)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._verify_uncached(y, message, r, s)
+        if len(self._verify_cache) >= _VERIFY_CACHE_LIMIT:
+            # Entries are only ever re-hit within one broadcast round; a full
+            # reset on overflow keeps memory bounded over long scenario sweeps.
+            self._verify_cache.clear()
+        self._verify_cache[key] = result
+        return result
+
+    def _verify_uncached(self, y: int, message: bytes, r: int, s: int) -> bool:
+        q = self.group.q
         digest = self.hash_function.hash_to_zq(message, q=q)
         try:
             w = modinv(s, q)

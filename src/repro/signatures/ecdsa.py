@@ -20,6 +20,9 @@ from .base import OperationCount, Signature, SignatureScheme
 
 __all__ = ["ECDSASignatureScheme", "ECDSAKeyPair"]
 
+#: Verification memo bound (see ECDSASignatureScheme.verify).
+_VERIFY_CACHE_LIMIT = 4096
+
 
 @dataclass(frozen=True)
 class ECDSAKeyPair:
@@ -37,6 +40,8 @@ class ECDSASignatureScheme(SignatureScheme):
     def __init__(self, curve: EllipticCurve = SECP160R1, hash_function: HashFunction | None = None) -> None:
         self.curve = curve
         self.hash_function = hash_function or HashFunction(output_bits=curve.n.bit_length())
+        #: (Q, message, r, s) -> outcome; see :meth:`verify`.
+        self._verify_cache: dict = {}
 
     # -------------------------------------------------------------- key mgmt
     def generate_keypair(self, rng: DeterministicRNG) -> ECDSAKeyPair:
@@ -67,7 +72,13 @@ class ECDSASignatureScheme(SignatureScheme):
         return Signature(scheme=self.name, components={"r": r, "s": s}, wire_bits=self.signature_bits)
 
     def verify(self, public_key, message: bytes, signature: Signature) -> bool:
-        """Standard ECDSA verification via ``u1·G + u2·Q``."""
+        """Standard ECDSA verification via ``u1·G + u2·Q``.
+
+        Memoised per ``(Q, message, r, s)`` like the DSA scheme: in the
+        broadcast protocols every receiver verifies the same triple, and the
+        outcome is a pure function of it.  Each receiver still records its
+        own verification cost — the memo saves simulation host time only.
+        """
         q_point = public_key.public if isinstance(public_key, ECDSAKeyPair) else public_key
         if not isinstance(q_point, ECPoint):
             raise ParameterError("ECDSA public key must be an ECPoint")
@@ -75,6 +86,19 @@ class ECDSASignatureScheme(SignatureScheme):
         r, s = signature.component("r"), signature.component("s")
         if not (0 < r < n and 0 < s < n):
             return False
+        key = ((q_point.x, q_point.y), message, r, s)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._verify_uncached(q_point, message, r, s)
+        if len(self._verify_cache) >= _VERIFY_CACHE_LIMIT:
+            # Same bounded-memo policy as the DSA scheme.
+            self._verify_cache.clear()
+        self._verify_cache[key] = result
+        return result
+
+    def _verify_uncached(self, q_point: "ECPoint", message: bytes, r: int, s: int) -> bool:
+        n = self.curve.n
         digest = self.hash_function.hash_to_zq(message, q=n)
         try:
             w = modinv(s, n)

@@ -74,8 +74,22 @@ class GQParameters:
         return self.hash_function.output_bits
 
     def identity_public_key(self, identity: bytes) -> int:
-        """The ID-derived public key ``H(ID) in Z_n^*``."""
-        return self.hash_function.identity_to_zn(identity, self.n)
+        """The ID-derived public key ``H(ID) in Z_n^*``.
+
+        Memoised: the map is a pure function of the identity bytes (given
+        fixed ``n`` and ``H``), and batch verification evaluates it for every
+        signer at every verifier — ``n^2`` times per protocol round — which
+        at scenario scale would otherwise be dominated by hashing.
+        """
+        cache = self.__dict__.get("_hid_cache")
+        if cache is None:
+            cache = {}
+            # Frozen dataclass: install the cache via object.__setattr__.
+            object.__setattr__(self, "_hid_cache", cache)
+        value = cache.get(identity)
+        if value is None:
+            value = cache[identity] = self.hash_function.identity_to_zn(identity, self.n)
+        return value
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,60 @@
+"""``repro.sim`` — declarative scenario and churn simulation engine.
+
+The paper's argument is comparative: the proposed ID-based GKA against the
+BD/SSN baselines *under dynamic membership*.  This subsystem turns that
+comparison into a repeatable experiment pipeline:
+
+* :mod:`repro.sim.scenarios` — declarative churn schedules (Poisson
+  join/leave, burst partitions, periodic merges, trace replay) bundled into a
+  :class:`~repro.sim.scenarios.Scenario`;
+* :mod:`repro.sim.runner` — :class:`~repro.sim.runner.ScenarioRunner` drives
+  any registry-selected protocol through a scenario's event stream on a
+  shared :class:`~repro.network.medium.BroadcastMedium`, recording per-event
+  energy, message, bit and wall-time metrics;
+* :mod:`repro.sim.report` — :class:`~repro.sim.report.ScenarioReport`
+  aggregates those records into totals, per-kind and per-member summaries
+  that are directly comparable across protocols.
+
+Quickstart::
+
+    from repro import SystemSetup
+    from repro.sim import PoissonChurn, Scenario, ScenarioRunner, comparison_table
+
+    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+    scenario = Scenario(
+        name="poisson-demo",
+        initial_size=10,
+        schedule=PoissonChurn(length=20, join_rate=2.0, leave_rate=2.0),
+        seed=7,
+    )
+    runner = ScenarioRunner(setup)
+    reports = [runner.run(name, scenario) for name in ("proposed", "bd", "ssn")]
+    print(comparison_table(reports))
+"""
+
+from .report import EventRecord, KindSummary, ScenarioReport, comparison_table
+from .runner import ScenarioRunner
+from .scenarios import (
+    BurstPartitions,
+    ChurnSchedule,
+    PeriodicMerges,
+    PoissonChurn,
+    Scenario,
+    ScheduledEvent,
+    TraceReplay,
+)
+
+__all__ = [
+    "BurstPartitions",
+    "ChurnSchedule",
+    "EventRecord",
+    "KindSummary",
+    "PeriodicMerges",
+    "PoissonChurn",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScheduledEvent",
+    "TraceReplay",
+    "comparison_table",
+]

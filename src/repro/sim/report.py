@@ -1,0 +1,176 @@
+"""Scenario result aggregation and cross-protocol comparison.
+
+:class:`ScenarioReport` is what a :class:`~repro.sim.runner.ScenarioRunner`
+run returns: the ordered per-event :class:`EventRecord` list plus aggregate
+views — totals, per-event-kind summaries (:class:`KindSummary`) and
+per-member cumulative energy.  Because every protocol is driven through the
+same scenario (same events, same loss draws), reports from different
+protocols are directly comparable; :func:`comparison_table` renders them side
+by side the way the paper's Table 5 compares dynamic-event costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import ParameterError
+
+__all__ = ["EventRecord", "KindSummary", "ScenarioReport", "comparison_table"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """Metrics for one protocol step (the establishment or one churn event).
+
+    ``energy_j`` maps each *post-event* member to the Joules it spent on this
+    step alone; members that did not exist before the step report their full
+    cost.  ``bits``/``bits_with_retries`` count medium traffic during the
+    step, excluding/including lossy retransmissions.
+    """
+
+    index: int
+    kind: str
+    time: float
+    group_size: int
+    rounds: int
+    messages: int
+    bits: int
+    bits_with_retries: int
+    wall_seconds: float
+    agreed: bool
+    energy_j: Mapping[str, float]
+
+    @property
+    def total_energy_j(self) -> float:
+        """Joules spent by the whole group on this step."""
+        return sum(self.energy_j.values())
+
+
+@dataclass(frozen=True)
+class KindSummary:
+    """Aggregate over all events of one kind."""
+
+    kind: str
+    count: int
+    total_energy_j: float
+    total_messages: int
+    total_bits: int
+    total_wall_seconds: float
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Average group energy per event of this kind."""
+        return self.total_energy_j / self.count if self.count else 0.0
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one protocol did under one scenario."""
+
+    scenario_name: str
+    scenario_description: str
+    protocol: str
+    records: List[EventRecord]
+    final_size: int
+    device: str = ""
+
+    # ----------------------------------------------------------- aggregates
+    @property
+    def events(self) -> List[EventRecord]:
+        """The churn events only (establishment record excluded)."""
+        return [r for r in self.records if r.kind != "establish"]
+
+    @property
+    def total_energy_j(self) -> float:
+        """Joules spent by all members over the whole scenario."""
+        return sum(r.total_energy_j for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        """Messages placed on the medium over the whole scenario."""
+        return sum(r.messages for r in self.records)
+
+    def total_bits(self, *, include_retries: bool = False) -> int:
+        """Bits placed on the medium (optionally counting retransmissions)."""
+        if include_retries:
+            return sum(r.bits_with_retries for r in self.records)
+        return sum(r.bits for r in self.records)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Host wall-clock time spent executing the protocol steps."""
+        return sum(r.wall_seconds for r in self.records)
+
+    @property
+    def agreed_throughout(self) -> bool:
+        """Whether every member agreed on the key after every single step."""
+        return all(r.agreed for r in self.records)
+
+    def by_kind(self) -> Dict[str, KindSummary]:
+        """Per-event-kind aggregates (establish, join, leave, merge, partition)."""
+        summaries: Dict[str, KindSummary] = {}
+        for kind in dict.fromkeys(r.kind for r in self.records):
+            rows = [r for r in self.records if r.kind == kind]
+            summaries[kind] = KindSummary(
+                kind=kind,
+                count=len(rows),
+                total_energy_j=sum(r.total_energy_j for r in rows),
+                total_messages=sum(r.messages for r in rows),
+                total_bits=sum(r.bits for r in rows),
+                total_wall_seconds=sum(r.wall_seconds for r in rows),
+            )
+        return summaries
+
+    def per_member_energy_j(self) -> Dict[str, float]:
+        """Cumulative Joules per member over every step it took part in."""
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            for name, joules in record.energy_j.items():
+                totals[name] = totals.get(name, 0.0) + joules
+        return totals
+
+    # ------------------------------------------------------------ rendering
+    def summary(self) -> str:
+        """A human-readable multi-line summary."""
+        lines = [
+            f"scenario : {self.scenario_description}",
+            f"protocol : {self.protocol}   (device: {self.device or 'default'})",
+            f"steps    : {len(self.records)} ({len(self.events)} churn events), "
+            f"final group size {self.final_size}",
+            f"agreement: {'after every step' if self.agreed_throughout else 'BROKEN'}",
+            f"totals   : {self.total_energy_j:.6f} J, {self.total_messages} messages, "
+            f"{self.total_bits()} bits ({self.total_bits(include_retries=True)} incl. retries), "
+            f"{self.total_wall_seconds:.3f} s wall",
+            "per-kind :",
+        ]
+        for kind, agg in self.by_kind().items():
+            lines.append(
+                f"  {kind:<10} x{agg.count:<4} {agg.total_energy_j:.6f} J total, "
+                f"{agg.mean_energy_j:.6f} J/event, {agg.total_messages} msgs"
+            )
+        return "\n".join(lines)
+
+
+def comparison_table(reports: Sequence[ScenarioReport]) -> str:
+    """Render several protocols' reports for the *same* scenario side by side."""
+    if not reports:
+        raise ParameterError("need at least one report to compare")
+    scenario_names = {report.scenario_name for report in reports}
+    if len(scenario_names) != 1:
+        raise ParameterError(
+            f"reports cover different scenarios ({sorted(scenario_names)}); "
+            "comparisons are only meaningful within one scenario"
+        )
+    header = (
+        f"{'protocol':<18} {'energy J':>12} {'messages':>9} {'bits':>12} "
+        f"{'bits+retry':>12} {'wall s':>8} {'agreed':>7}"
+    )
+    lines = [f"scenario: {reports[0].scenario_description}", header, "-" * len(header)]
+    for report in reports:
+        lines.append(
+            f"{report.protocol:<18} {report.total_energy_j:>12.6f} {report.total_messages:>9} "
+            f"{report.total_bits():>12} {report.total_bits(include_retries=True):>12} "
+            f"{report.total_wall_seconds:>8.3f} {'yes' if report.agreed_throughout else 'NO':>7}"
+        )
+    return "\n".join(lines)

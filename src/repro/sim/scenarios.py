@@ -1,0 +1,300 @@
+"""Declarative churn scenarios.
+
+A :class:`Scenario` names an experiment: an initial group size, a churn
+schedule, a seed, and the medium's loss characteristics.  Schedules are small
+declarative objects that expand — deterministically, from the scenario seed —
+into a timed stream of the :mod:`repro.network.events` membership events:
+
+* :class:`PoissonChurn` — joins/leaves/merges/partitions arriving as a
+  Poisson process with per-kind rates (the classic MANET churn model);
+* :class:`BurstPartitions` — periodic bursts where several members drop out
+  at once (deep fades, moving obstacles), optionally followed by a
+  same-sized merge as fresh nodes repopulate the area;
+* :class:`PeriodicMerges` — a steady trickle of whole sub-groups arriving;
+* :class:`TraceReplay` — replay an explicit event list (e.g. one produced by
+  :class:`~repro.network.events.EventTraceGenerator` or captured from a real
+  deployment).
+
+The same :class:`Scenario` object drives *every* protocol, so reported
+numbers are comparable: identical event streams, identical loss draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from ..exceptions import ParameterError
+from ..mathutils.rand import DeterministicRNG
+from ..network.events import (
+    EventTraceGenerator,
+    JoinEvent,
+    MembershipEvent,
+    MergeEvent,
+    PartitionEvent,
+    membership_after,
+)
+from ..pki.identity import Identity
+
+__all__ = [
+    "ScheduledEvent",
+    "ChurnSchedule",
+    "PoissonChurn",
+    "BurstPartitions",
+    "PeriodicMerges",
+    "TraceReplay",
+    "Scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """A membership event stamped with its simulated arrival time (seconds)."""
+
+    time: float
+    event: MembershipEvent
+
+    @property
+    def kind(self) -> str:
+        """The event kind (``join``/``leave``/``merge``/``partition``)."""
+        return self.event.kind
+
+
+def _exponential(rng: DeterministicRNG, rate: float) -> float:
+    """Draw an exponential inter-arrival time with the given rate."""
+    # (0, 1] so log never sees zero; 53 bits matches double precision.
+    u = (rng.randbelow(1 << 53) + 1) / float((1 << 53) + 1)
+    return -math.log(u) / rate
+
+
+class ChurnSchedule:
+    """Base class: expands into a timed event stream for given initial members."""
+
+    def generate(
+        self,
+        initial_members: Sequence[Identity],
+        rng: DeterministicRNG,
+        *,
+        min_group_size: int = 3,
+    ) -> List[ScheduledEvent]:
+        """Produce the scenario's scheduled events (deterministic in ``rng``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonChurn(ChurnSchedule):
+    """Membership events arriving as a Poisson process.
+
+    ``length`` events are drawn; each event's kind is chosen proportionally
+    to the per-kind rates and the inter-arrival gaps are exponential with the
+    total rate (rates are per simulated second).
+    """
+
+    length: int
+    join_rate: float = 2.0
+    leave_rate: float = 2.0
+    merge_rate: float = 0.0
+    partition_rate: float = 0.0
+    merge_size: int = 3
+    partition_size: int = 3
+
+    def generate(
+        self,
+        initial_members: Sequence[Identity],
+        rng: DeterministicRNG,
+        *,
+        min_group_size: int = 3,
+    ) -> List[ScheduledEvent]:
+        if self.length < 0:
+            raise ParameterError("length cannot be negative")
+        total_rate = self.join_rate + self.leave_rate + self.merge_rate + self.partition_rate
+        if total_rate <= 0:
+            raise ParameterError("at least one event rate must be positive")
+        generator = EventTraceGenerator(
+            rng.fork("kinds"),
+            join_weight=self.join_rate,
+            leave_weight=self.leave_rate,
+            merge_weight=self.merge_rate,
+            partition_weight=self.partition_rate,
+            merge_size=self.merge_size,
+            partition_size=self.partition_size,
+            name_prefix="poisson",
+        )
+        events = generator.trace(initial_members, self.length, min_group_size=min_group_size)
+        clock_rng = rng.fork("arrivals")
+        scheduled: List[ScheduledEvent] = []
+        now = 0.0
+        for event in events:
+            now += _exponential(clock_rng, total_rate)
+            scheduled.append(ScheduledEvent(time=now, event=event))
+        return scheduled
+
+
+@dataclass(frozen=True)
+class BurstPartitions(ChurnSchedule):
+    """Periodic partition bursts, optionally refilled by merges.
+
+    Every ``period`` seconds a random set of ``burst_size`` non-controller
+    members drops out at once.  With ``refill=True`` the same number of fresh
+    identities arrive ``refill_delay`` seconds later (in a MANET the nodes
+    that wander back in are rarely the ones that left) — as a merging group
+    of two or more, or a single join when only one member dropped — keeping
+    the group at its initial size for the next burst.
+    """
+
+    bursts: int
+    burst_size: int = 3
+    period: float = 10.0
+    refill: bool = True
+    refill_delay: float = 2.0
+
+    def generate(
+        self,
+        initial_members: Sequence[Identity],
+        rng: DeterministicRNG,
+        *,
+        min_group_size: int = 3,
+    ) -> List[ScheduledEvent]:
+        if self.bursts < 0:
+            raise ParameterError("bursts cannot be negative")
+        if self.burst_size < 1:
+            raise ParameterError("burst_size must be at least 1")
+        if self.period <= 0:
+            raise ParameterError("period must be positive")
+        members = list(initial_members)
+        pick_rng = rng.fork("bursts")
+        scheduled: List[ScheduledEvent] = []
+        now = 0.0
+        fresh = 0
+        for _ in range(self.bursts):
+            now += self.period
+            # Never partition the controller, never shrink below viability.
+            size = min(self.burst_size, len(members) - min_group_size)
+            if size < 1:
+                continue
+            victims = tuple(pick_rng.sample(members[1:], size))
+            event: MembershipEvent = PartitionEvent(leaving=victims)
+            scheduled.append(ScheduledEvent(time=now, event=event))
+            members = membership_after(members, event)
+            if self.refill:
+                arrivals = []
+                for _ in range(size):
+                    fresh += 1
+                    arrivals.append(Identity(f"burst-{fresh:04d}"))
+                # A lone returning node cannot form a group of its own, so it
+                # arrives as a plain join rather than a merge.
+                if size == 1:
+                    event = JoinEvent(joining=arrivals[0])
+                else:
+                    event = MergeEvent(other_group=tuple(arrivals))
+                scheduled.append(ScheduledEvent(time=now + self.refill_delay, event=event))
+                members = membership_after(members, event)
+        return scheduled
+
+
+@dataclass(frozen=True)
+class PeriodicMerges(ChurnSchedule):
+    """A whole sub-group of ``merge_size`` fresh members arrives every ``period``."""
+
+    merges: int
+    merge_size: int = 3
+    period: float = 10.0
+
+    def generate(
+        self,
+        initial_members: Sequence[Identity],
+        rng: DeterministicRNG,
+        *,
+        min_group_size: int = 3,
+    ) -> List[ScheduledEvent]:
+        if self.merges < 0:
+            raise ParameterError("merges cannot be negative")
+        if self.merge_size < 2:
+            raise ParameterError("merge_size must be at least 2 (a group)")
+        if self.period <= 0:
+            raise ParameterError("period must be positive")
+        scheduled: List[ScheduledEvent] = []
+        now = 0.0
+        fresh = 0
+        for _ in range(self.merges):
+            now += self.period
+            arrivals = []
+            for _ in range(self.merge_size):
+                fresh += 1
+                arrivals.append(Identity(f"merge-{fresh:04d}"))
+            scheduled.append(ScheduledEvent(time=now, event=MergeEvent(other_group=tuple(arrivals))))
+        return scheduled
+
+
+@dataclass(frozen=True)
+class TraceReplay(ChurnSchedule):
+    """Replay an explicit event list with fixed spacing (trace-driven runs)."""
+
+    events: tuple
+    spacing: float = 1.0
+
+    def generate(
+        self,
+        initial_members: Sequence[Identity],
+        rng: DeterministicRNG,
+        *,
+        min_group_size: int = 3,
+    ) -> List[ScheduledEvent]:
+        scheduled: List[ScheduledEvent] = []
+        now = 0.0
+        for event in self.events:
+            if isinstance(event, ScheduledEvent):
+                scheduled.append(event)
+                continue
+            now += self.spacing
+            scheduled.append(ScheduledEvent(time=now, event=event))
+        return scheduled
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully deterministic churn experiment.
+
+    The scenario owns everything that must be *identical* across the
+    protocols being compared: the initial membership, the expanded event
+    stream, and the medium's loss model seed.
+    """
+
+    name: str
+    initial_size: int
+    schedule: ChurnSchedule
+    seed: object = 0
+    loss_probability: float = 0.0
+    max_retries: int = 10
+    min_group_size: int = 3
+    member_prefix: str = "member"
+
+    def __post_init__(self) -> None:
+        if self.initial_size < 2:
+            raise ParameterError("a scenario needs at least two initial members")
+        if self.min_group_size < 2:
+            raise ParameterError("min_group_size must be at least 2")
+
+    # -------------------------------------------------------------- expansion
+    def initial_members(self) -> List[Identity]:
+        """The initial group, ``member-000`` (the controller) first."""
+        return [Identity(f"{self.member_prefix}-{i:03d}") for i in range(self.initial_size)]
+
+    def build_events(self) -> List[ScheduledEvent]:
+        """Expand the schedule into the deterministic timed event stream."""
+        rng = DeterministicRNG(self.seed if self.seed is not None else 0, label=f"scenario/{self.name}")
+        return self.schedule.generate(
+            self.initial_members(), rng, min_group_size=self.min_group_size
+        )
+
+    def with_seed(self, seed: object) -> "Scenario":
+        """A copy of this scenario under a different seed (for replications)."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (
+            f"{self.name}: n={self.initial_size}, {type(self.schedule).__name__}, "
+            f"loss={self.loss_probability:g}, seed={self.seed!r}"
+        )
