@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Mobility sweep: emergent churn and relay cost vs transmit range.
+
+The paper's MANET story made physical: 20 nodes do a random-waypoint walk
+over a 500x500 m field.  Radio links derive from distance, broadcasts are
+relayed hop by hop (each relay charged real transmit/receive energy), and
+partitions/merges are *emitted by the connectivity monitor* as the topology
+changes — no hand-written churn schedule anywhere in this file.
+
+The sweep varies the transmit range: short ranges mean deeper floods (more
+relay energy) and more frequent partitions; long ranges approach the
+single-hop degenerate case.  For each range the proposed protocol and two
+baselines run the identical emergent event stream, and the comparison is
+printed and exported to CSV/JSON.
+
+Run with:  PYTHONPATH=src python examples/mobility_sweep.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import SystemSetup
+from repro.mobility import Area, MobilityConfig, RandomWaypoint
+from repro.sim import Scenario, ScenarioRunner, comparison_csv, comparison_table
+
+PROTOCOLS = ["proposed", "bd", "ssn"]
+TX_RANGES = [140.0, 180.0, 240.0]
+SEED = "mobility-sweep"
+
+
+def sweep_scenario(tx_range: float) -> Scenario:
+    return Scenario(
+        name=f"rwp-range-{tx_range:g}",
+        initial_size=20,
+        mobility=MobilityConfig(
+            model=RandomWaypoint(min_speed=2.0, max_speed=10.0),
+            area=Area(500.0, 500.0),
+            tx_range=tx_range,
+            duration=120.0,
+            tick=2.0,
+            edge_loss=0.1,
+            settle_ticks=2,
+        ),
+        seed=SEED,
+    )
+
+
+def main() -> None:
+    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+    runner = ScenarioRunner(setup)
+    out_dir = os.environ.get("MOBILITY_SWEEP_OUT", ".")
+
+    for tx_range in TX_RANGES:
+        scenario = sweep_scenario(tx_range)
+        events = scenario.build_events()
+        kinds = [event.kind for event in events]
+        print()
+        print(
+            f"range {tx_range:g}m: initial group {len(scenario.initial_members())}"
+            f"/{scenario.initial_size}, emergent events: "
+            + (", ".join(kinds) if kinds else "none")
+        )
+        reports = runner.run_all(list(PROTOCOLS), scenario)
+        print(comparison_table(reports))
+
+        csv_path = os.path.join(out_dir, f"mobility_range_{tx_range:g}.csv")
+        comparison_csv(reports, csv_path)
+        json_path = os.path.join(out_dir, f"mobility_range_{tx_range:g}_proposed.json")
+        reports[0].to_json(json_path)
+        print(f"exported: {csv_path}, {json_path}")
+
+
+if __name__ == "__main__":
+    main()

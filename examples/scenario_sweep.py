@@ -7,10 +7,17 @@ partitions on a lossy medium, and a steady trickle of merging sub-groups —
 and drives each through the proposed protocol and two baselines selected *by
 registry name*, then prints side-by-side energy/message reports.
 
+Each comparison is also exported in machine-readable form: one CSV of
+cross-protocol totals per scenario plus a JSON drill-down of the proposed
+protocol's per-event records (set ``SCENARIO_SWEEP_OUT`` to choose the
+output directory).
+
 Run with:  PYTHONPATH=src python examples/scenario_sweep.py
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import SystemSetup, available_protocols
 from repro.sim import (
@@ -19,6 +26,7 @@ from repro.sim import (
     PoissonChurn,
     Scenario,
     ScenarioRunner,
+    comparison_csv,
     comparison_table,
 )
 
@@ -52,11 +60,17 @@ def main() -> None:
     setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
     print("Registered protocols:", ", ".join(available_protocols()))
     runner = ScenarioRunner(setup)
+    out_dir = os.environ.get("SCENARIO_SWEEP_OUT", ".")
 
     for scenario in SCENARIOS:
         reports = runner.run_all(list(PROTOCOLS), scenario)
         print()
         print(comparison_table(reports))
+        csv_path = os.path.join(out_dir, f"{scenario.name}.csv")
+        comparison_csv(reports, csv_path)
+        json_path = os.path.join(out_dir, f"{scenario.name}_proposed.json")
+        reports[0].to_json(json_path)
+        print(f"exported: {csv_path}, {json_path}")
 
     # Drill into one report: per-kind averages for the proposed protocol
     # under steady churn (the shape of the paper's Table 5, per event kind).

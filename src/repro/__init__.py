@@ -10,6 +10,9 @@ The package implements, from scratch:
 * the substrates those protocols need (number theory, Schnorr groups, elliptic
   curves, a simulated pairing, AES, SHA-256, HMAC, a PKG and a CA, a simulated
   broadcast wireless network),
+* a mobility-aware MANET layer (:mod:`repro.mobility`): 2-D mobility models,
+  distance-dependent radio links, multi-hop relaying with per-hop energy
+  charging, and connectivity-driven emergent partition/merge churn,
 * the paper's energy model (StrongARM SA-1110 + 100 kbps radio / Spectrum24
   WLAN) and the closed-form analysis that regenerates Tables 1-5 and Figure 1.
 

@@ -205,7 +205,10 @@ class ProposedGKAProtocol(Protocol):
                 state, list(event.leaving), medium=medium, seed=seed
             )
         if isinstance(event, MergeEvent):
-            other = self.run(list(event.other_group), seed=f"{seed}|merge-other")
+            # Named child seed (not string concatenation) so the sub-group's
+            # randomness is domain-separated like every other consumer.
+            other_seed = DeterministicRNG(seed, label="merge-event").derive_seed("other-group")
+            other = self.run(list(event.other_group), seed=other_seed)
             # The incoming group was keyed before the networks met; clear its
             # establishment costs so the merge step is charged only with what
             # the Merge protocol itself does (the paper's Table 5 accounting).

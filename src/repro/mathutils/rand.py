@@ -161,6 +161,18 @@ class DeterministicRNG:
         self.shuffle(pool)
         return pool[:k]
 
+    def derive_seed(self, label: str) -> bytes:
+        """The child seed :meth:`fork` would use for ``label``.
+
+        Exposed so that callers which need a *seed object* rather than a
+        generator (e.g. the scenario runner handing protocols their per-event
+        seeds) can derive named children from one master seed without
+        consuming any of this generator's stream.
+        """
+        return hashlib.sha256(
+            self._seed_bytes + b"|fork|" + self._label.encode("utf-8") + b"|" + label.encode("utf-8")
+        ).digest()
+
     def fork(self, label: str) -> "DeterministicRNG":
         """Create an independent child generator for domain ``label``.
 
@@ -168,10 +180,7 @@ class DeterministicRNG:
         produce independent streams; forking is how each simulated node gets
         its own reproducible randomness.
         """
-        child_seed = hashlib.sha256(
-            self._seed_bytes + b"|fork|" + self._label.encode("utf-8") + b"|" + label.encode("utf-8")
-        ).digest()
-        return DeterministicRNG(child_seed, label=label)
+        return DeterministicRNG(self.derive_seed(label), label=label)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DeterministicRNG(label={self._label!r}, counter={self._counter})"

@@ -1,0 +1,227 @@
+"""Connectivity-driven churn: partitions and merges emerge from motion.
+
+:class:`ConnectivityMonitor` watches the multi-hop reachability graph of a
+:class:`~repro.mobility.field.MobilityField` under a
+:class:`~repro.mobility.radio.RadioLink` and maintains the *group*: the
+connected component containing the controller (the first universe member,
+``U_1``).  Stepping the field tick by tick, it emits ordinary
+:mod:`repro.network.events` membership events whenever the component changes:
+
+* members that drift out of the controller's component leave as a
+  :class:`~repro.network.events.PartitionEvent` (or a single
+  :class:`~repro.network.events.LeaveEvent`);
+* universe nodes that wander (back) into the component arrive as a
+  :class:`~repro.network.events.MergeEvent` (or a single
+  :class:`~repro.network.events.JoinEvent`).
+
+The scenario engine replays those events through
+:class:`~repro.sim.runner.ScenarioRunner` exactly like hand-written
+schedules — churn becomes an emergent property of mobility rather than a
+scripted list.  Everything is a pure function of the field's trajectories, so
+the same master seed always yields the same event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import ParameterError
+from ..network.events import (
+    JoinEvent,
+    LeaveEvent,
+    MembershipEvent,
+    MergeEvent,
+    PartitionEvent,
+)
+from ..pki.identity import Identity
+from .field import MobilityField
+from .graph import adjacency, component, induced_component
+from .radio import RadioLink
+
+__all__ = ["ConnectivityMonitor"]
+
+
+class ConnectivityMonitor:
+    """Derives membership events from the reachability graph as nodes move.
+
+    Parameters
+    ----------
+    field:
+        The mobility field to watch (the monitor advances it itself).
+    link:
+        Radio link model giving single-hop reachability.
+    universe:
+        Every identity that exists in the deployment, controller first.  The
+        group at any instant is the subset connected (over any number of
+        hops) to the controller.
+    min_group_size:
+        Departures are deferred while they would shrink the group below this
+        (the protocols need a viable ring); the nodes remain nominal members
+        until either more of the universe reconnects or they return.
+    settle_ticks:
+        A connectivity change must persist this many consecutive ticks before
+        it becomes an event — hysteresis against range-boundary flapping.
+    """
+
+    def __init__(
+        self,
+        field: MobilityField,
+        link: RadioLink,
+        universe: Sequence[Identity],
+        *,
+        min_group_size: int = 3,
+        settle_ticks: int = 1,
+    ) -> None:
+        if len(universe) < 2:
+            raise ParameterError("the universe needs at least two identities")
+        if min_group_size < 2:
+            raise ParameterError("min_group_size must be at least 2")
+        if settle_ticks < 1:
+            raise ParameterError("settle_ticks must be at least 1")
+        names = [identity.name for identity in universe]
+        if len(set(names)) != len(names):
+            raise ParameterError("duplicate identities in the universe")
+        self.field = field
+        self.link = link
+        self.universe = list(universe)
+        self.controller = universe[0]
+        self.min_group_size = min_group_size
+        self.settle_ticks = settle_ticks
+        self._by_name: Dict[str, Identity] = {identity.name: identity for identity in universe}
+        self._out_streak: Dict[str, int] = {name: 0 for name in names}
+        self._in_streak: Dict[str, int] = {name: 0 for name in names}
+        self._group: List[str] = self.component()
+
+    # ------------------------------------------------------------ reachability
+    def _universe_graph(self) -> Dict[str, List[str]]:
+        """Single-hop adjacency over the whole universe, built once per tick.
+
+        Built with the same :mod:`repro.mobility.graph` helpers the flooding
+        medium uses; all gating checks derive induced subgraphs from this one
+        O(n^2) distance pass.
+        """
+        return adjacency(self.link, [identity.name for identity in self.universe])
+
+    def component(self) -> List[str]:
+        """The controller's connected component over the whole universe."""
+        seen = component(self._universe_graph(), self.controller.name)
+        return [identity.name for identity in self.universe if identity.name in seen]
+
+    # ----------------------------------------------------------------- state
+    def group_members(self) -> List[Identity]:
+        """Current nominal group membership (controller first)."""
+        return [self._by_name[name] for name in self._group]
+
+    def initial_members(self) -> List[Identity]:
+        """The group at the field's current (usually initial) time."""
+        members = self.group_members()
+        if len(members) < self.min_group_size:
+            raise ParameterError(
+                f"only {len(members)} of {len(self.universe)} nodes are connected to "
+                f"the controller at t={self.field.time:g}s; raise the node density or "
+                "transmit range so a viable initial group forms"
+            )
+        return members
+
+    # ---------------------------------------------------------------- events
+    def _tick_events(self) -> List[MembershipEvent]:
+        """Events implied by the reachability graph at the field's current time.
+
+        Emitted events are a promise the medium must honour: the runner
+        replays them at this tick's positions, and each event's protocol step
+        broadcasts to every member of its *own* post-event group (a same-tick
+        departure is applied before the arrival).  An event therefore only
+        fires when its post-event membership is one connected component of
+        the graph induced on exactly those members — members bridged only by
+        non-members are undeliverable and stay counted as disconnected.  A
+        departure additionally may not shrink the group below two members
+        mid-tick, nor below ``min_group_size`` once same-tick arrivals are
+        counted; gated changes simply wait (streaks keep accumulating, so
+        nothing is lost, only delayed).
+        """
+        # One O(n^2) distance pass per tick; every reachability question below
+        # is an induced subgraph of this graph.  Departure detection runs on
+        # the member-induced graph (what the medium can actually deliver);
+        # arrival detection runs on the full universe graph, optimistically
+        # (returning squads bridge each other).
+        graph = self._universe_graph()
+        controller = self.controller.name
+        members = set(self._group)
+        member_component = induced_component(graph, self._group, controller)
+        universe_component = component(graph, controller)
+
+        for name in self._out_streak:
+            in_group = name in members
+            self._out_streak[name] = (
+                self._out_streak[name] + 1 if in_group and name not in member_component else 0
+            )
+            self._in_streak[name] = (
+                self._in_streak[name] + 1 if not in_group and name in universe_component else 0
+            )
+
+        departures = [
+            name for name in self._group
+            if self._out_streak[name] >= self.settle_ticks and name != controller
+        ]
+        arrivals = sorted(
+            name for name, streak in self._in_streak.items()
+            if streak >= self.settle_ticks and name not in members
+        )
+
+        departed = set(departures)
+        remaining = [name for name in self._group if name not in departed]
+        departures_ok = (
+            bool(departures)
+            and len(remaining) >= 2
+            and set(remaining) <= induced_component(graph, remaining, controller)
+        )
+        base = remaining if departures_ok else list(self._group)
+        arrivals_ok = bool(arrivals) and set(base + arrivals) <= induced_component(
+            graph, base + arrivals, controller
+        )
+        final_size = len(base) + (len(arrivals) if arrivals_ok else 0)
+        if departures_ok and final_size < self.min_group_size:
+            # The tick would end below the viability floor: defer the
+            # departures and re-gate the arrivals against the intact group.
+            departures_ok = False
+            base = list(self._group)
+            arrivals_ok = bool(arrivals) and set(base + arrivals) <= induced_component(
+                graph, base + arrivals, controller
+            )
+
+        events: List[MembershipEvent] = []
+        if departures_ok:
+            leaving = tuple(self._by_name[name] for name in departures)
+            events.append(
+                LeaveEvent(leaving=leaving[0]) if len(leaving) == 1
+                else PartitionEvent(leaving=leaving)
+            )
+            self._group = remaining
+            for name in departures:
+                self._out_streak[name] = 0
+        if arrivals_ok:
+            joining = tuple(self._by_name[name] for name in arrivals)
+            events.append(
+                JoinEvent(joining=joining[0]) if len(joining) == 1
+                else MergeEvent(other_group=joining)
+            )
+            self._group = self._group + list(arrivals)
+            for name in arrivals:
+                self._in_streak[name] = 0
+        return events
+
+    def emergent_events(self, duration: float) -> List[Tuple[float, MembershipEvent]]:
+        """Step the field to ``duration`` and return the timed event stream.
+
+        Call once, starting from the field's initial time; each returned pair
+        is ``(time, event)`` with times quantised to field ticks.  The stream
+        is a deterministic function of the field's seed and the radio
+        parameters.
+        """
+        events: List[Tuple[float, MembershipEvent]] = []
+        ticks = int(round(duration / self.field.tick))
+        for _ in range(ticks):
+            self.field.advance_ticks(1)
+            for event in self._tick_events():
+                events.append((self.field.time, event))
+        return events

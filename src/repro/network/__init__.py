@@ -9,7 +9,7 @@ from .events import (
     MergeEvent,
     PartitionEvent,
 )
-from .medium import BroadcastMedium, DeliveryReceipt
+from .medium import BroadcastMedium, DeliveryReceipt, LinkModel, UniformLink
 from .message import (
     Message,
     MessagePart,
@@ -30,6 +30,8 @@ __all__ = [
     "PartitionEvent",
     "BroadcastMedium",
     "DeliveryReceipt",
+    "LinkModel",
+    "UniformLink",
     "Message",
     "MessagePart",
     "envelope_part",

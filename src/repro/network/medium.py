@@ -11,7 +11,7 @@ behaviour the paper appeals to when a verification fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..exceptions import NetworkError
@@ -20,16 +20,66 @@ from ..pki.identity import Identity
 from .message import Message
 from .node import Node
 
-__all__ = ["BroadcastMedium", "DeliveryReceipt"]
+__all__ = ["LinkModel", "UniformLink", "BroadcastMedium", "DeliveryReceipt"]
+
+
+class LinkModel:
+    """Per-pair radio link characteristics, keyed by node identity *names*.
+
+    The broadcast medium consults its link model to decide which attached
+    nodes a transmission can reach at all (:meth:`reachable`) and how likely
+    a given directed link is to drop a copy (:meth:`loss_probability`).  The
+    base class is the fully-connected lossless ether; :class:`UniformLink`
+    reproduces the classic single-knob uniform-loss medium; distance-dependent
+    radio links over moving nodes live in :mod:`repro.mobility.radio`.
+    """
+
+    def reachable(self, sender: str, receiver: str) -> bool:
+        """Whether ``receiver`` can hear ``sender`` at all right now."""
+        return True
+
+    def loss_probability(self, sender: str, receiver: str) -> float:
+        """Probability that one copy on the ``sender -> receiver`` link is lost."""
+        return 0.0
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return type(self).__name__
+
+
+class UniformLink(LinkModel):
+    """The degenerate link model: everyone reachable, one global loss knob."""
+
+    def __init__(self, loss_probability: float = 0.0) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError("loss probability must be in [0, 1)")
+        self.loss = loss_probability
+
+    def loss_probability(self, sender: str, receiver: str) -> float:
+        return self.loss
+
+    def describe(self) -> str:
+        return f"uniform(loss={self.loss:g})"
 
 
 @dataclass
 class DeliveryReceipt:
-    """What happened to one send: attempts used and who received it."""
+    """What happened to one send: attempts used and who received it.
+
+    ``hops``/``transmissions``/``relay_bits`` describe the physical delivery
+    path: a single-hop broadcast domain uses ``hops=1`` and one transmission
+    per attempt with no relay traffic; a multi-hop medium
+    (:class:`repro.mobility.relay.MultiHopMedium`) reports the flood depth,
+    every physical transmission (origin plus relays, including retry waves)
+    and the bits transmitted by relays on the origin's behalf.
+    """
 
     message: Message
     attempts: int
     delivered_to: List[Identity]
+    hops: int = 1
+    transmissions: int = 0
+    relay_bits: int = 0
 
 
 class BroadcastMedium:
@@ -46,6 +96,15 @@ class BroadcastMedium:
     rng:
         Randomness source for loss decisions (deterministic, like everything
         else in the library).
+    link_model:
+        Per-pair :class:`LinkModel` hook.  The default is
+        ``UniformLink(loss_probability)``, which keeps the historic behaviour
+        exactly: every attached node reachable, loss drawn once per broadcast
+        attempt.  Passing an explicit :class:`UniformLink` makes it the single
+        source of truth for the loss knob.  Any other link model contributes
+        *reachability filtering only* on this single-hop medium — per-link
+        loss draws and relaying need
+        :class:`repro.mobility.relay.MultiHopMedium`.
     """
 
     def __init__(
@@ -53,11 +112,16 @@ class BroadcastMedium:
         loss_probability: float = 0.0,
         max_retries: int = 10,
         rng: Optional[DeterministicRNG] = None,
+        link_model: Optional[LinkModel] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise NetworkError("loss probability must be in [0, 1)")
+        if isinstance(link_model, UniformLink):
+            # One source of truth: an explicit uniform link carries the knob.
+            loss_probability = link_model.loss
         self.loss_probability = loss_probability
         self.max_retries = max_retries
+        self.link_model = link_model if link_model is not None else UniformLink(loss_probability)
         self._rng = rng or DeterministicRNG("medium", label="medium")
         self._nodes: Dict[str, Node] = {}
         self.transcript: List[Message] = []
@@ -101,6 +165,21 @@ class BroadcastMedium:
     def send(self, message: Message) -> DeliveryReceipt:
         """Transmit a message, charging sender and receivers, with retries on loss."""
         sender = self.node(message.sender)
+        # Validate deliverability before anything is charged, so a failed
+        # send is side-effect-free: a single-hop domain has no relays, and an
+        # addressed member out of direct range could never be served —
+        # silently skipping it would surface much later as a confusing
+        # protocol failure.  Multi-hop delivery lives in
+        # repro.mobility.relay.MultiHopMedium.
+        for node in self._nodes.values():
+            if not message.addressed_to(node.identity):
+                continue
+            if not self.link_model.reachable(message.sender.name, node.identity.name):
+                raise NetworkError(
+                    f"{node.identity.name} is out of direct range of "
+                    f"{message.sender.name} and this single-hop medium cannot "
+                    "relay; use MultiHopMedium for multi-hop topologies"
+                )
         attempts = 0
         while True:
             attempts += 1
@@ -120,7 +199,14 @@ class BroadcastMedium:
             node.recorder.record_rx(message.wire_bits * attempts, messages=attempts)
             node.deliver(message)
             delivered.append(node.identity)
-        receipt = DeliveryReceipt(message=message, attempts=attempts, delivered_to=delivered)
+        receipt = DeliveryReceipt(
+            message=message,
+            attempts=attempts,
+            delivered_to=delivered,
+            hops=1,
+            transmissions=attempts,
+            relay_bits=0,
+        )
         self.transcript.append(message)
         self.receipts.append(receipt)
         return receipt
@@ -138,14 +224,25 @@ class BroadcastMedium:
         """Total bits placed on the medium.
 
         By default each message counts once, whatever it took to deliver.
-        With ``include_retries=True`` every retransmitted copy counts too, so
-        on a lossy medium the figure matches the transmission bits the
-        senders' recorders were actually charged — which is what energy
-        reports for lossy scenarios must use.
+        With ``include_retries=True`` every physical on-air copy counts —
+        retransmissions here, relay copies too on a multi-hop medium — so the
+        figure matches the transmission bits the senders' (and relays')
+        recorders were actually charged, which is what energy reports for
+        lossy scenarios must use.
         """
         if include_retries:
-            return sum(receipt.message.wire_bits * receipt.attempts for receipt in self.receipts)
+            return sum(
+                receipt.message.wire_bits * receipt.transmissions for receipt in self.receipts
+            )
         return sum(message.wire_bits for message in self.transcript)
+
+    def total_transmissions(self) -> int:
+        """Physical transmissions: every on-air copy, including retries and relays."""
+        return sum(receipt.transmissions for receipt in self.receipts)
+
+    def total_relay_bits(self) -> int:
+        """Bits transmitted by relay nodes on behalf of other senders."""
+        return sum(receipt.relay_bits for receipt in self.receipts)
 
     def messages_for_round(self, round_label: str) -> List[Message]:
         """All transcript messages belonging to one round."""

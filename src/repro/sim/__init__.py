@@ -13,7 +13,13 @@ comparison into a repeatable experiment pipeline:
   energy, message, bit and wall-time metrics;
 * :mod:`repro.sim.report` — :class:`~repro.sim.report.ScenarioReport`
   aggregates those records into totals, per-kind and per-member summaries
-  that are directly comparable across protocols.
+  that are directly comparable across protocols, with CSV/JSON export.
+
+Scenarios can also be *mobility-driven*: embed a
+:class:`~repro.mobility.config.MobilityConfig` instead of a schedule and the
+network layer simulates node positions, distance-dependent radio links and
+multi-hop relaying, with partition/merge churn emitted by a connectivity
+monitor as the topology changes (see :mod:`repro.mobility`).
 
 Quickstart::
 
@@ -32,7 +38,14 @@ Quickstart::
     print(comparison_table(reports))
 """
 
-from .report import EventRecord, KindSummary, ScenarioReport, comparison_table
+from .report import (
+    EventRecord,
+    KindSummary,
+    ScenarioReport,
+    comparison_csv,
+    comparison_json,
+    comparison_table,
+)
 from .runner import ScenarioRunner
 from .scenarios import (
     BurstPartitions,
@@ -56,5 +69,7 @@ __all__ = [
     "ScenarioRunner",
     "ScheduledEvent",
     "TraceReplay",
+    "comparison_csv",
+    "comparison_json",
     "comparison_table",
 ]

@@ -6,17 +6,35 @@ views — totals, per-event-kind summaries (:class:`KindSummary`) and
 per-member cumulative energy.  Because every protocol is driven through the
 same scenario (same events, same loss draws), reports from different
 protocols are directly comparable; :func:`comparison_table` renders them side
-by side the way the paper's Table 5 compares dynamic-event costs.
+by side the way the paper's Table 5 compares dynamic-event costs.  On
+multi-hop mobile scenarios the records additionally carry the physical
+transmission count, relay traffic and the energy those relays burned, so the
+comparison reflects the true cost of carrying each protocol over a MANET.
+
+Reports export to machine-readable form: :meth:`ScenarioReport.to_csv` /
+:meth:`ScenarioReport.to_json` dump the per-event records,
+:func:`comparison_csv` / :func:`comparison_json` dump the cross-protocol
+totals that :func:`comparison_table` renders for humans.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..exceptions import ParameterError
 
-__all__ = ["EventRecord", "KindSummary", "ScenarioReport", "comparison_table"]
+__all__ = [
+    "EventRecord",
+    "KindSummary",
+    "ScenarioReport",
+    "comparison_table",
+    "comparison_csv",
+    "comparison_json",
+]
 
 
 @dataclass(frozen=True)
@@ -26,7 +44,11 @@ class EventRecord:
     ``energy_j`` maps each *post-event* member to the Joules it spent on this
     step alone; members that did not exist before the step report their full
     cost.  ``bits``/``bits_with_retries`` count medium traffic during the
-    step, excluding/including lossy retransmissions.
+    step, excluding/including lossy retransmissions.  ``transmissions``
+    counts every physical on-air copy (origin, retries and relays);
+    ``relay_bits``/``relay_energy_j`` are the share transmitted by relay
+    nodes on multi-hop media (zero on a single-hop medium), and
+    ``mean_hops`` the average flood depth a message needed.
     """
 
     index: int
@@ -40,6 +62,10 @@ class EventRecord:
     wall_seconds: float
     agreed: bool
     energy_j: Mapping[str, float]
+    transmissions: int = 0
+    relay_bits: int = 0
+    relay_energy_j: float = 0.0
+    mean_hops: float = 1.0
 
     @property
     def total_energy_j(self) -> float:
@@ -57,6 +83,7 @@ class KindSummary:
     total_messages: int
     total_bits: int
     total_wall_seconds: float
+    total_relay_energy_j: float = 0.0
 
     @property
     def mean_energy_j(self) -> float:
@@ -91,6 +118,28 @@ class ScenarioReport:
         """Messages placed on the medium over the whole scenario."""
         return sum(r.messages for r in self.records)
 
+    @property
+    def total_transmissions(self) -> int:
+        """Physical transmissions (origins, retries and relay hops)."""
+        return sum(r.transmissions for r in self.records)
+
+    @property
+    def total_relay_bits(self) -> int:
+        """Bits transmitted by relays over the whole scenario."""
+        return sum(r.relay_bits for r in self.records)
+
+    @property
+    def total_relay_energy_j(self) -> float:
+        """Joules burned by relay transmissions over the whole scenario."""
+        return sum(r.relay_energy_j for r in self.records)
+
+    @property
+    def mean_hops(self) -> float:
+        """Message-weighted average flood depth (1.0 on single-hop media)."""
+        weighted = sum(r.mean_hops * r.messages for r in self.records)
+        messages = self.total_messages
+        return weighted / messages if messages else 1.0
+
     def total_bits(self, *, include_retries: bool = False) -> int:
         """Bits placed on the medium (optionally counting retransmissions)."""
         if include_retries:
@@ -119,6 +168,7 @@ class ScenarioReport:
                 total_messages=sum(r.messages for r in rows),
                 total_bits=sum(r.bits for r in rows),
                 total_wall_seconds=sum(r.wall_seconds for r in rows),
+                total_relay_energy_j=sum(r.relay_energy_j for r in rows),
             )
         return summaries
 
@@ -142,8 +192,14 @@ class ScenarioReport:
             f"totals   : {self.total_energy_j:.6f} J, {self.total_messages} messages, "
             f"{self.total_bits()} bits ({self.total_bits(include_retries=True)} incl. retries), "
             f"{self.total_wall_seconds:.3f} s wall",
-            "per-kind :",
         ]
+        if self.total_relay_bits:
+            lines.append(
+                f"relaying : {self.total_transmissions} physical transmissions, "
+                f"{self.total_relay_bits} relay bits ({self.total_relay_energy_j:.6f} J), "
+                f"mean flood depth {self.mean_hops:.2f} hops"
+            )
+        lines.append("per-kind :")
         for kind, agg in self.by_kind().items():
             lines.append(
                 f"  {kind:<10} x{agg.count:<4} {agg.total_energy_j:.6f} J total, "
@@ -151,9 +207,78 @@ class ScenarioReport:
             )
         return "\n".join(lines)
 
+    # -------------------------------------------------------------- exports
+    #: Per-event CSV/JSON columns, in export order.
+    _RECORD_FIELDS = (
+        "index",
+        "kind",
+        "time",
+        "group_size",
+        "rounds",
+        "messages",
+        "bits",
+        "bits_with_retries",
+        "transmissions",
+        "relay_bits",
+        "relay_energy_j",
+        "mean_hops",
+        "wall_seconds",
+        "agreed",
+        "total_energy_j",
+    )
 
-def comparison_table(reports: Sequence[ScenarioReport]) -> str:
-    """Render several protocols' reports for the *same* scenario side by side."""
+    def _record_row(self, record: EventRecord) -> Dict[str, object]:
+        row = {name: getattr(record, name) for name in self._RECORD_FIELDS}
+        return row
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Per-event records as CSV (written to ``path`` when given)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self._RECORD_FIELDS), lineterminator="\n")
+        writer.writeheader()
+        for record in self.records:
+            writer.writerow(self._record_row(record))
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_json(self, path: Optional[str] = None, *, indent: int = 2) -> str:
+        """The whole report — metadata, totals, per-event records, per-member
+        energy — as JSON (written to ``path`` when given)."""
+        payload = {
+            "scenario": self.scenario_name,
+            "description": self.scenario_description,
+            "protocol": self.protocol,
+            "device": self.device,
+            "final_size": self.final_size,
+            "totals": {
+                "energy_j": self.total_energy_j,
+                "messages": self.total_messages,
+                "bits": self.total_bits(),
+                "bits_with_retries": self.total_bits(include_retries=True),
+                "transmissions": self.total_transmissions,
+                "relay_bits": self.total_relay_bits,
+                "relay_energy_j": self.total_relay_energy_j,
+                "mean_hops": self.mean_hops,
+                "wall_seconds": self.total_wall_seconds,
+                "agreed_throughout": self.agreed_throughout,
+            },
+            "records": [
+                {**self._record_row(record), "energy_j": dict(record.energy_j)}
+                for record in self.records
+            ],
+            "per_member_energy_j": self.per_member_energy_j(),
+        }
+        text = json.dumps(payload, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+
+def _require_same_scenario(reports: Sequence[ScenarioReport]) -> None:
     if not reports:
         raise ParameterError("need at least one report to compare")
     scenario_names = {report.scenario_name for report in reports}
@@ -162,15 +287,94 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
             f"reports cover different scenarios ({sorted(scenario_names)}); "
             "comparisons are only meaningful within one scenario"
         )
+
+
+#: Cross-protocol totals exported per report by comparison_csv/comparison_json.
+_COMPARISON_FIELDS = (
+    "protocol",
+    "energy_j",
+    "messages",
+    "bits",
+    "bits_with_retries",
+    "transmissions",
+    "relay_bits",
+    "relay_energy_j",
+    "mean_hops",
+    "wall_seconds",
+    "agreed",
+)
+
+
+def _comparison_row(report: ScenarioReport) -> Dict[str, object]:
+    return {
+        "protocol": report.protocol,
+        "energy_j": report.total_energy_j,
+        "messages": report.total_messages,
+        "bits": report.total_bits(),
+        "bits_with_retries": report.total_bits(include_retries=True),
+        "transmissions": report.total_transmissions,
+        "relay_bits": report.total_relay_bits,
+        "relay_energy_j": report.total_relay_energy_j,
+        "mean_hops": report.mean_hops,
+        "wall_seconds": report.total_wall_seconds,
+        "agreed": report.agreed_throughout,
+    }
+
+
+def comparison_table(reports: Sequence[ScenarioReport]) -> str:
+    """Render several protocols' reports for the *same* scenario side by side."""
+    _require_same_scenario(reports)
+    relaying = any(report.total_relay_bits for report in reports)
     header = (
         f"{'protocol':<18} {'energy J':>12} {'messages':>9} {'bits':>12} "
-        f"{'bits+retry':>12} {'wall s':>8} {'agreed':>7}"
+        f"{'bits+retry':>12}"
     )
+    if relaying:
+        header += f" {'tx':>8} {'relay J':>12} {'hops':>5}"
+    header += f" {'wall s':>8} {'agreed':>7}"
     lines = [f"scenario: {reports[0].scenario_description}", header, "-" * len(header)]
     for report in reports:
-        lines.append(
+        line = (
             f"{report.protocol:<18} {report.total_energy_j:>12.6f} {report.total_messages:>9} "
-            f"{report.total_bits():>12} {report.total_bits(include_retries=True):>12} "
-            f"{report.total_wall_seconds:>8.3f} {'yes' if report.agreed_throughout else 'NO':>7}"
+            f"{report.total_bits():>12} {report.total_bits(include_retries=True):>12}"
         )
+        if relaying:
+            line += (
+                f" {report.total_transmissions:>8} {report.total_relay_energy_j:>12.6f} "
+                f"{report.mean_hops:>5.2f}"
+            )
+        line += (
+            f" {report.total_wall_seconds:>8.3f} {'yes' if report.agreed_throughout else 'NO':>7}"
+        )
+        lines.append(line)
     return "\n".join(lines)
+
+
+def comparison_csv(reports: Sequence[ScenarioReport], path: Optional[str] = None) -> str:
+    """The comparison table's totals as CSV, one row per protocol."""
+    _require_same_scenario(reports)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(_COMPARISON_FIELDS), lineterminator="\n")
+    writer.writeheader()
+    for report in reports:
+        writer.writerow(_comparison_row(report))
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def comparison_json(reports: Sequence[ScenarioReport], path: Optional[str] = None, *, indent: int = 2) -> str:
+    """The comparison table's totals as JSON, one object per protocol."""
+    _require_same_scenario(reports)
+    payload = {
+        "scenario": reports[0].scenario_name,
+        "description": reports[0].scenario_description,
+        "protocols": [_comparison_row(report) for report in reports],
+    }
+    text = json.dumps(payload, indent=indent)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

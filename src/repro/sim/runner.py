@@ -3,17 +3,29 @@
 :class:`ScenarioRunner` is the execution half of the scenario engine: it
 resolves a protocol by registry name (or accepts a
 :class:`~repro.core.base.Protocol` instance), establishes the initial group
-on a shared — optionally lossy — :class:`~repro.network.medium.BroadcastMedium`,
-then applies every scheduled event through the protocol's
+on a shared medium, then applies every scheduled event through the protocol's
 :meth:`~repro.core.base.Protocol.apply_event`.  The proposed protocol serves
 events with its native Join/Leave/Merge/Partition sub-protocols; every
 baseline re-executes its full GKA — the exact comparison the paper's Tables 4
 and 5 make, but over arbitrary multi-event workloads.
 
+Schedule-driven scenarios run on a single-hop — optionally lossy —
+:class:`~repro.network.medium.BroadcastMedium`.  Mobility-driven scenarios
+run on a :class:`~repro.mobility.relay.MultiHopMedium` over the scenario's
+:class:`~repro.mobility.field.MobilityField`: the runner advances the field
+to each event's timestamp, so per-link losses, relay paths and the emergent
+partition/merge stream all see the same positions.
+
+Every stochastic input is a *named* child of the scenario's master seed
+(medium losses, mobility trajectories, the establishment seed, one seed per
+event), so streams never cross-contaminate and two runs with the same seed
+are identical down to the per-node energy ledgers.
+
 After every step the runner records an :class:`~repro.sim.report.EventRecord`
 with the step's energy (per member, priced on the configured
 :class:`~repro.energy.accounting.DeviceProfile`), medium traffic (messages,
-bits, bits including lossy retransmissions) and host wall-time, and verifies
+bits, bits including lossy retransmissions, physical transmissions, relay
+bits and the Joules those relay bits cost) and host wall-time, and verifies
 that all members agree on the group key.
 """
 
@@ -26,12 +38,16 @@ from ..core.base import GroupState, Protocol, ProtocolResult, SystemSetup
 from ..core.registry import create_protocol
 from ..energy.accounting import DeviceProfile
 from ..exceptions import ProtocolError
-from ..mathutils.rand import DeterministicRNG
+from ..mobility.field import MobilityField
+from ..mobility.relay import MultiHopMedium
 from ..network.medium import BroadcastMedium
 from .report import EventRecord, ScenarioReport
 from .scenarios import Scenario
 
 __all__ = ["ScenarioRunner"]
+
+#: (messages, bits, bits w/ retries, transmissions, relay bits, receipt count)
+_Traffic = Tuple[int, int, int, int, int, int]
 
 
 class ScenarioRunner:
@@ -60,22 +76,43 @@ class ScenarioRunner:
         self.device = device or DeviceProfile()
         self.check_agreement = check_agreement
 
+    # --------------------------------------------------------------- medium
+    def _build_medium(self, scenario: Scenario) -> Tuple[BroadcastMedium, Optional[MobilityField]]:
+        """The scenario's shared medium (and its field, when mobile)."""
+        medium_rng = scenario.master_rng().fork("medium")
+        if scenario.mobility is None:
+            return (
+                BroadcastMedium(
+                    loss_probability=scenario.loss_probability,
+                    max_retries=scenario.max_retries,
+                    rng=medium_rng,
+                ),
+                None,
+            )
+        field = scenario.build_mobility_field()
+        return (
+            MultiHopMedium(
+                field,
+                scenario.mobility.build_link(field),
+                max_hops=scenario.mobility.max_hops,
+                max_retries=scenario.max_retries,
+                rng=medium_rng,
+            ),
+            field,
+        )
+
     # ------------------------------------------------------------------- run
     def run(self, protocol: Union[str, Protocol], scenario: Scenario) -> ScenarioReport:
         """Execute ``scenario`` under ``protocol`` and return the report."""
         if isinstance(protocol, str):
             protocol = create_protocol(protocol, self.setup)
-        medium = BroadcastMedium(
-            loss_probability=scenario.loss_probability,
-            max_retries=scenario.max_retries,
-            rng=DeterministicRNG(f"{scenario.seed}|medium", label=f"medium/{scenario.name}"),
-        )
+        medium, field = self._build_medium(scenario)
         records: List[EventRecord] = []
 
         # ------------------------------------------------------ establishment
         members = scenario.initial_members()
         started = time.perf_counter()
-        result = protocol.run(members, medium=medium, seed=f"{scenario.seed}|establish")
+        result = protocol.run(members, medium=medium, seed=scenario.child_seed("protocol/establish"))
         wall = time.perf_counter() - started
         state = result.state
         records.append(
@@ -86,7 +123,7 @@ class ScenarioRunner:
                 result=result,
                 medium=medium,
                 before_energy={},
-                before_traffic=(0, 0, 0),
+                before_traffic=(0, 0, 0, 0, 0, 0),
                 wall=wall,
             )
         )
@@ -94,6 +131,8 @@ class ScenarioRunner:
 
         # ------------------------------------------------------- churn events
         for position, scheduled in enumerate(scenario.build_events(), start=1):
+            if field is not None:
+                field.advance_to(scheduled.time)
             before_energy = self._energy_snapshot(state)
             before_traffic = self._traffic_snapshot(medium)
             started = time.perf_counter()
@@ -101,7 +140,7 @@ class ScenarioRunner:
                 state,
                 scheduled.event,
                 medium=medium,
-                seed=f"{scenario.seed}|event/{position}",
+                seed=scenario.child_seed(f"protocol/event/{position:04d}"),
             )
             wall = time.perf_counter() - started
             state = result.state
@@ -143,11 +182,14 @@ class ScenarioRunner:
         }
 
     @staticmethod
-    def _traffic_snapshot(medium: BroadcastMedium) -> Tuple[int, int, int]:
+    def _traffic_snapshot(medium: BroadcastMedium) -> _Traffic:
         return (
             medium.total_messages(),
             medium.total_bits(),
             medium.total_bits(include_retries=True),
+            medium.total_transmissions(),
+            medium.total_relay_bits(),
+            len(medium.receipts),
         )
 
     def _record(
@@ -159,7 +201,7 @@ class ScenarioRunner:
         result: ProtocolResult,
         medium: BroadcastMedium,
         before_energy: Dict[str, Tuple[int, float]],
-        before_traffic: Tuple[int, int, int],
+        before_traffic: _Traffic,
         wall: float,
     ) -> EventRecord:
         state = result.state
@@ -174,7 +216,14 @@ class ScenarioRunner:
                 energy[name] = total - previous_total
             else:
                 energy[name] = total
-        messages0, bits0, retry_bits0 = before_traffic
+        messages0, bits0, retry_bits0, transmissions0, relay_bits0, receipts0 = before_traffic
+        relay_bits = medium.total_relay_bits() - relay_bits0
+        step_receipts = medium.receipts[receipts0:]
+        mean_hops = (
+            sum(receipt.hops for receipt in step_receipts) / len(step_receipts)
+            if step_receipts
+            else 1.0
+        )
         return EventRecord(
             index=index,
             kind=kind,
@@ -187,6 +236,10 @@ class ScenarioRunner:
             wall_seconds=wall,
             agreed=state.all_agree(),
             energy_j=energy,
+            transmissions=medium.total_transmissions() - transmissions0,
+            relay_bits=relay_bits,
+            relay_energy_j=self.device.transceiver.tx_energy_mj(relay_bits) / 1000.0,
+            mean_hops=mean_hops,
         )
 
     def _check(self, record: EventRecord, protocol_name: str, scenario: Scenario) -> None:
