@@ -54,6 +54,17 @@ from .energy import (
     Transceiver,
     WLAN_SPECTRUM24,
 )
+from .engine import (
+    EngineConfig,
+    EngineStats,
+    EventKernel,
+    FixedLatency,
+    LatencyModel,
+    MachinePlan,
+    Outbound,
+    PartyMachine,
+    TransceiverLatency,
+)
 from .exceptions import (
     BatchVerificationError,
     DecryptionError,
@@ -98,6 +109,16 @@ __all__ = [
     "STRONGARM_SA1110",
     "Transceiver",
     "WLAN_SPECTRUM24",
+    # engine
+    "EngineConfig",
+    "EngineStats",
+    "EventKernel",
+    "FixedLatency",
+    "LatencyModel",
+    "MachinePlan",
+    "Outbound",
+    "PartyMachine",
+    "TransceiverLatency",
     # pki
     "Identity",
     "IdentityRegistry",

@@ -14,6 +14,11 @@ BD rounds are unchanged; authentication is added the intuitive way:
   verification involves pairings and a MapToPoint of the signer's identity,
   which is what makes it the most expensive column of Figure 1.
 
+The run executes as one :class:`~repro.engine.machine.PartyMachine` per
+member, following the plain-BD two-hook shape with signing layered onto the
+Round-2 emission and the ``n - 1`` verifications performed when the Round-2
+view completes.
+
 Cost accounting notes: certificate verifications are priced as one signature
 verification of the CA's scheme (that is what they are); the per-user
 operation tally for a certificate-based run therefore shows ``2(n-1)``
@@ -23,9 +28,11 @@ matching Table 1's separate "Cert Ver" and "Sign Ver" rows.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ParameterError, ProtocolError, SignatureError, VerificationError
+from ..engine.executor import EngineStats
+from ..engine.machine import MachinePlan, Outbound, PartyMachine
+from ..exceptions import ParameterError, SignatureError, VerificationError
 from ..groups.pairing import SimulatedPairingGroup
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import encode_fields, int_to_bytes
@@ -53,6 +60,152 @@ from ..core.registry import register_protocol
 __all__ = ["AuthenticatedBDProtocol", "SUPPORTED_SCHEMES"]
 
 SUPPORTED_SCHEMES = ("sok", "ecdsa", "dsa")
+
+
+class _AuthBDPartyMachine(PartyMachine):
+    """One member's view of sign-all authenticated BD."""
+
+    def __init__(
+        self,
+        protocol: "AuthenticatedBDProtocol",
+        party: PartyState,
+        ring: RingTopology,
+        signing_key: object,
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.protocol = protocol
+        self.party = party
+        self.ring = ring
+        self.signing_key = signing_key
+        self._ring_names = [m.name for m in ring.members]
+        self._z_view: Dict[str, int] = {}
+        self._certs: Dict[str, Certificate] = {}
+        self._round2: Dict[str, Tuple[int, object]] = {}
+        self._z_product: Optional[int] = None
+        self._x_table: Dict[str, int] = {}
+        self._round1_complete = False
+        self._round2_buffer: List[Message] = []
+
+    def start(self, now: float) -> List[Outbound]:
+        group = self.protocol.setup.group
+        party = self.party
+        party.r = group.random_exponent(party.rng)
+        party.z = group.exp_g(party.r)
+        party.recorder.record_operation("modexp")
+        self._z_view[self.identity.name] = party.z
+        self.waiting_for = "authbd-round1"
+        parts = [
+            identity_part(self.identity),
+            group_element_part("z", party.z, group.element_bits),
+        ]
+        if self.protocol.uses_certificates:
+            certificate = self.protocol.certificate_for(self.identity)
+            parts.append(MessagePart("certificate", certificate, certificate.wire_bits))
+        return [Outbound(Message.broadcast(self.identity, "authbd-round1", parts))]
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        if message.round_label == "authbd-round1":
+            sender: Identity = message.value("identity")  # type: ignore[assignment]
+            self._z_view[sender.name] = int(message.value("z"))
+            if self.protocol.uses_certificates:
+                self._certs[sender.name] = message.value("certificate")  # type: ignore[assignment]
+            if len(self._z_view) != self.ring.size:
+                return []
+            self._round1_complete = True
+            outs = self._emit_round2(now)
+            buffered, self._round2_buffer = self._round2_buffer, []
+            for held in buffered:
+                outs.extend(self.on_message(held, now))
+            return outs
+        if message.round_label == "authbd-round2":
+            if not self._round1_complete:
+                self._round2_buffer.append(message)
+                return []
+            sender = message.value("identity")  # type: ignore[assignment]
+            self._round2[sender.name] = (int(message.value("X")), message.value("signature"))
+            if len(self._round2) == self.ring.size - 1:
+                self._verify_and_derive(now)
+        return []
+
+    # --------------------------------------------------------------- round 2
+    def _emit_round2(self, now: float) -> List[Outbound]:
+        group = self.protocol.setup.group
+        party = self.party
+        left = self.ring.left_neighbour(self.identity)
+        right = self.ring.right_neighbour(self.identity)
+        x_value = compute_bd_x_value(
+            group, self._z_view[right.name], self._z_view[left.name], party.r
+        )
+        party.recorder.record_operation("modexp")
+        self._z_product = group.product(self._z_view[name] for name in sorted(self._z_view))
+        self._x_table[self.identity.name] = x_value
+        body = encode_fields(
+            [
+                self.identity.to_bytes(),
+                int_to_bytes(party.z),
+                int_to_bytes(x_value),
+                int_to_bytes(self._z_product),
+            ]
+        )
+        signature = self.protocol.signature_scheme.sign(self.signing_key, body, party.rng)
+        party.recorder.record_signature(self.protocol.scheme_name, "gen")
+        self.waiting_for = "authbd-round2"
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    "authbd-round2",
+                    [
+                        identity_part(self.identity),
+                        group_element_part("X", x_value, group.element_bits),
+                        signature_part(signature),
+                    ],
+                )
+            )
+        ]
+
+    # ----------------------------------------------------------- verification
+    def _verify_and_derive(self, now: float) -> None:
+        group = self.protocol.setup.group
+        party = self.party
+        assert self._z_product is not None
+        for sender_name, (x_value, signature) in self._round2.items():
+            body = encode_fields(
+                [
+                    self.protocol.identity_bytes(sender_name),
+                    int_to_bytes(self._z_view[sender_name]),
+                    int_to_bytes(x_value),
+                    int_to_bytes(self._z_product),
+                ]
+            )
+            if self.protocol.uses_certificates:
+                certificate = self._certs[sender_name]
+                if not self.protocol.ca.verify(certificate):
+                    raise VerificationError(
+                        f"{self.identity.name} rejected {sender_name}'s certificate"
+                    )
+                party.recorder.record_signature(self.protocol.scheme_name, "ver")  # cert
+                public_key = self.protocol.decode_certified_key(certificate)
+                verified = self.protocol.signature_scheme.verify(public_key, body, signature)
+            else:
+                verified = self.protocol.signature_scheme.verify(
+                    self.protocol.identity_bytes(sender_name),
+                    body,
+                    signature,
+                    master_public=self.protocol.sok_master_public,
+                )
+            party.recorder.record_signature(self.protocol.scheme_name, "ver")
+            if not verified:
+                raise SignatureError(
+                    f"{self.identity.name} rejected {sender_name}'s signature"
+                )
+            self._x_table[sender_name] = x_value
+        party.group_key = compute_bd_key(
+            group, self._ring_names, self.identity.name, party.r, self._z_view, self._x_table
+        )
+        party.recorder.record_operation("modexp")
+        self.finished = True
+        self.waiting_for = None
 
 
 class AuthenticatedBDProtocol(Protocol):
@@ -83,6 +236,7 @@ class AuthenticatedBDProtocol(Protocol):
             self._ca = CertificateAuthority(self._signature, infra_rng.fork("ca"))
         self._user_keys: Dict[str, object] = {}
         self._certificates: Dict[str, Certificate] = {}
+        self._identities: Dict[str, Identity] = {}
         self._infra_rng = infra_rng
 
     # --------------------------------------------------------------- key mgmt
@@ -91,8 +245,33 @@ class AuthenticatedBDProtocol(Protocol):
         """Whether this variant transmits and verifies certificates (ECDSA/DSA)."""
         return self._ca is not None
 
+    @property
+    def signature_scheme(self) -> object:
+        """The scheme used to sign Round-2 bodies."""
+        return self._signature
+
+    @property
+    def ca(self) -> CertificateAuthority:
+        """The certificate authority (certificate-based schemes only)."""
+        assert self._ca is not None
+        return self._ca
+
+    @property
+    def sok_master_public(self) -> object:
+        """The SOK PKG's master public key (SOK scheme only)."""
+        return self._sok_pkg.master_public
+
+    def certificate_for(self, identity: Identity) -> Certificate:
+        """The member's certificate (certificate-based schemes only)."""
+        return self._certificates[identity.name]
+
+    def identity_bytes(self, name: str) -> bytes:
+        """Wire encoding of a provisioned member's identity."""
+        return self._identities[name].to_bytes()
+
     def _provision(self, identity: Identity) -> object:
         """Give a member its long-term signing key (and certificate if needed)."""
+        self._identities[identity.name] = identity
         if identity.name in self._user_keys:
             return self._user_keys[identity.name]
         if self.scheme_name == "sok":
@@ -103,22 +282,22 @@ class AuthenticatedBDProtocol(Protocol):
         self._user_keys[identity.name] = key
         return key
 
-    # -------------------------------------------------------------------- run
-    def run(
+    # -------------------------------------------------------------- machines
+    def build_machines(
         self,
         members: Sequence[Identity],
         *,
-        medium: Optional[BroadcastMedium] = None,
+        medium: BroadcastMedium,
         seed: object = 0,
-    ) -> ProtocolResult:
-        """Run authenticated BD among ``members``."""
+        **kwargs: object,
+    ) -> MachinePlan:
+        """Decompose authenticated BD into per-member machines."""
+        if kwargs:
+            raise ParameterError(f"unknown run options: {sorted(kwargs)}")
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label=self.name)
-        group = self.setup.group
-
         parties: Dict[str, PartyState] = {}
         signing_keys: Dict[str, object] = {}
         for identity in members:
@@ -132,109 +311,29 @@ class AuthenticatedBDProtocol(Protocol):
                 rng=rng.fork(f"party/{identity.name}"),
                 node=node,
             )
-
-        # Round 1: broadcast z_i (plus the certificate for the cert-based schemes).
-        for identity in ring.members:
-            party = parties[identity.name]
-            party.r = group.random_exponent(party.rng)
-            party.z = group.exp_g(party.r)
-            party.recorder.record_operation("modexp")
-            parts = [identity_part(identity), group_element_part("z", party.z, group.element_bits)]
-            if self.uses_certificates:
-                certificate = self._certificates[identity.name]
-                parts.append(MessagePart("certificate", certificate, certificate.wire_bits))
-            medium.send(Message.broadcast(identity, "authbd-round1", parts))
-
-        z_views: Dict[str, Dict[str, int]] = {}
-        cert_views: Dict[str, Dict[str, Certificate]] = {}
-        for identity in ring.members:
-            party = parties[identity.name]
-            z_view = {identity.name: party.z}
-            certs: Dict[str, Certificate] = {}
-            for message in party.node.drain_inbox("authbd-round1"):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                z_view[sender.name] = int(message.value("z"))
-                if self.uses_certificates:
-                    certs[sender.name] = message.value("certificate")  # type: ignore[assignment]
-            if len(z_view) != ring.size:
-                raise ProtocolError(f"{identity.name} missed Round 1 messages")
-            z_views[identity.name] = z_view
-            cert_views[identity.name] = certs
-
-        # Round 2: compute X_i, sign U_i || z_i || X_i || prod z_j, broadcast.
-        ring_names = [m.name for m in ring.members]
-        signed_bodies: Dict[str, bytes] = {}
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = z_views[identity.name]
-            left = ring.left_neighbour(identity)
-            right = ring.right_neighbour(identity)
-            x_value = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
-            party.recorder.record_operation("modexp")
-            z_product = group.product(view[name] for name in sorted(view))
-            body = encode_fields(
-                [identity.to_bytes(), int_to_bytes(party.z), int_to_bytes(x_value), int_to_bytes(z_product)]
+        machines = [
+            _AuthBDPartyMachine(
+                self, parties[identity.name], ring, signing_keys[identity.name]
             )
-            signed_bodies[identity.name] = body
-            signature = self._signature.sign(signing_keys[identity.name], body, party.rng)
-            party.recorder.record_signature(self.scheme_name, "gen")
-            medium.send(
-                Message.broadcast(
-                    identity,
-                    "authbd-round2",
-                    [
-                        identity_part(identity),
-                        group_element_part("X", x_value, group.element_bits),
-                        signature_part(signature),
-                    ],
-                )
+            for identity in ring.members
+        ]
+
+        def finish(stats: EngineStats) -> ProtocolResult:
+            state = GroupState(setup=self.setup, ring=ring, parties=parties)
+            state.group_key = parties[ring.controller().name].group_key
+            return ProtocolResult(
+                protocol=self.name,
+                state=state,
+                medium=medium,
+                rounds=2,
+                sim_latency_s=stats.sim_time_s,
+                timeouts=stats.timeouts,
             )
 
-        # Verification and key computation.
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = z_views[identity.name]
-            x_table: Dict[str, int] = {}
-            left = ring.left_neighbour(identity)
-            right = ring.right_neighbour(identity)
-            x_table[identity.name] = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
-            z_product = group.product(view[name] for name in sorted(view))
-            for message in party.node.drain_inbox("authbd-round2"):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                x_value = int(message.value("X"))
-                signature = message.value("signature")
-                body = encode_fields(
-                    [
-                        sender.to_bytes(),
-                        int_to_bytes(view[sender.name]),
-                        int_to_bytes(x_value),
-                        int_to_bytes(z_product),
-                    ]
-                )
-                if self.uses_certificates:
-                    certificate = cert_views[identity.name][sender.name]
-                    if not self._ca.verify(certificate):  # type: ignore[union-attr]
-                        raise VerificationError(f"{identity.name} rejected {sender.name}'s certificate")
-                    party.recorder.record_signature(self.scheme_name, "ver")  # cert verification
-                    public_key = self._decode_certified_key(certificate)
-                    verified = self._signature.verify(public_key, body, signature)
-                else:
-                    verified = self._signature.verify(
-                        sender.to_bytes(), body, signature, master_public=self._sok_pkg.master_public
-                    )
-                party.recorder.record_signature(self.scheme_name, "ver")
-                if not verified:
-                    raise SignatureError(f"{identity.name} rejected {sender.name}'s signature")
-                x_table[sender.name] = x_value
-            party.group_key = compute_bd_key(group, ring_names, identity.name, party.r, view, x_table)
-            party.recorder.record_operation("modexp")
-
-        state = GroupState(setup=self.setup, ring=ring, parties=parties)
-        state.group_key = parties[ring.controller().name].group_key
-        return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+        return MachinePlan(machines=machines, finish=finish, rounds=2)
 
     # ----------------------------------------------------------------- helper
-    def _decode_certified_key(self, certificate: Certificate):
+    def decode_certified_key(self, certificate: Certificate):
         """Recover the subject public key object from a certificate."""
         encoding = certificate.public_key_encoding
         if self.scheme_name == "ecdsa":

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..engine.executor import EngineConfig
+from ..engine.machine import MachinePlan
 from ..exceptions import MembershipError, ParameterError
 from ..network.medium import BroadcastMedium
 from ..pki.identity import Identity
@@ -44,15 +46,32 @@ class BDRerunDynamic(Protocol):
         self.name = f"bd-rerun-{scheme}"
 
     # ------------------------------------------------------------------ events
+    def build_machines(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: BroadcastMedium,
+        seed: object = 0,
+        **kwargs: object,
+    ) -> MachinePlan:
+        """Delegate to the wrapped authenticated-BD machine decomposition.
+
+        Results keep the wrapped protocol's label (``bd-<scheme>``): the
+        rerun wrapper adds event routing, not a different wire protocol.
+        """
+        return self._protocol.build_machines(members, medium=medium, seed=seed, **kwargs)
+
     def run(
         self,
         members: Sequence[Identity],
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+        **kwargs: object,
     ) -> ProtocolResult:
         """Initial key establishment (plain authenticated BD run)."""
-        return self._protocol.run(members, medium=medium, seed=seed)
+        return super().run(members, medium=medium, seed=seed, engine=engine, **kwargs)
 
     def establish(self, members: Sequence[Identity], *, seed: object = 0) -> ProtocolResult:
         """Backwards-compatible alias for :meth:`run`."""
@@ -65,12 +84,13 @@ class BDRerunDynamic(Protocol):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Re-run the GKA over the enlarged membership."""
         if joining in state.ring:
             raise MembershipError(f"{joining.name!r} is already a member")
         members = state.ring.members + [joining]
-        return self._protocol.run(members, medium=medium, seed=seed)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
 
     def leave(
         self,
@@ -79,6 +99,7 @@ class BDRerunDynamic(Protocol):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Re-run the GKA over the reduced membership."""
         if leaving not in state.ring:
@@ -86,7 +107,7 @@ class BDRerunDynamic(Protocol):
         members = [m for m in state.ring.members if m.name != leaving.name]
         if len(members) < 2:
             raise ParameterError("cannot shrink the group below two members")
-        return self._protocol.run(members, medium=medium, seed=seed)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
 
     def merge(
         self,
@@ -95,13 +116,14 @@ class BDRerunDynamic(Protocol):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Re-run the GKA over the union of both memberships."""
         overlap = {m.name for m in state_a.ring} & {m.name for m in state_b.ring}
         if overlap:
             raise MembershipError(f"groups overlap: {sorted(overlap)}")
         members: List[Identity] = state_a.ring.members + state_b.ring.members
-        return self._protocol.run(members, medium=medium, seed=seed)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
 
     def partition(
         self,
@@ -110,13 +132,14 @@ class BDRerunDynamic(Protocol):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Re-run the GKA over the members that remain."""
         leaving_names = {identity.name for identity in leaving}
         members = [m for m in state.ring.members if m.name not in leaving_names]
         if len(members) < 2:
             raise ParameterError("cannot shrink the group below two members")
-        return self._protocol.run(members, medium=medium, seed=seed)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
 
 
 for _scheme in SUPPORTED_SCHEMES:

@@ -20,6 +20,13 @@ functional ID-based variant with the same structure and the same cost profile:
   Table 1 does for this scheme), so the complexity and energy comparison
   reproduce the paper's O(n)-exponentiation behaviour faithfully.
 
+Execution is one :class:`~repro.engine.machine.PartyMachine` per member in
+the plain-BD two-hook shape; the per-member authenticator checks run when the
+Round-1 view completes.  The check is a pure function of the broadcast
+``(sender, z, t, s)`` that every receiver evaluates identically, so its
+*outcome* is memoised per run in a table shared by the machines; each
+receiver still records its own two exponentiations.
+
 This preserves everything the paper evaluates about SSN — linear-in-``n``
 exponentiation count, two broadcast rounds, no certificates or explicit
 signatures — which is the role the baseline plays in Table 1 and Figure 1.
@@ -27,9 +34,11 @@ signatures — which is the role the baseline plays in Table 1 and Figure 1.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exceptions import ParameterError, ProtocolError, VerificationError
+from ..engine.executor import EngineStats
+from ..engine.machine import MachinePlan, Outbound, PartyMachine
+from ..exceptions import ParameterError, VerificationError
 from ..mathutils.modular import modinv
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import int_to_bytes
@@ -52,6 +61,147 @@ from ..core.registry import register_protocol
 __all__ = ["SSNProtocol"]
 
 
+class _SSNPartyMachine(PartyMachine):
+    """One member's view of the SSN-style ID-based BD."""
+
+    def __init__(
+        self,
+        party: PartyState,
+        setup: SystemSetup,
+        ring: RingTopology,
+        check_cache: Dict[tuple, bool],
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.party = party
+        self.setup = setup
+        self.ring = ring
+        self.check_cache = check_cache
+        self._ring_names = [m.name for m in ring.members]
+        #: sender -> (z, t, s) from Round 1, in arrival order
+        self._round1: Dict[str, Tuple[Identity, int, int, int]] = {}
+        self._z_view: Dict[str, int] = {}
+        self._x_table: Dict[str, int] = {}
+        self._round1_complete = False
+        self._round2_buffer: List[Message] = []
+
+    def start(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        params = self.setup.gq_params
+        party = self.party
+        party.r = group.random_exponent(party.rng)
+        party.z = group.exp_g(party.r)
+        tau = party.rng.zn_star(params.n)
+        t_value = pow(tau, params.e, params.n)
+        challenge = params.hash_function.challenge(
+            self.identity.to_bytes(), int_to_bytes(party.z), int_to_bytes(t_value)
+        )
+        s_value = (tau * pow(party.private_key.secret, challenge, params.n)) % params.n
+        party.recorder.record_operation("modexp", 3)  # z_i, t_i, S_ID^c
+        self._z_view[self.identity.name] = party.z
+        self.waiting_for = "ssn-round1"
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    "ssn-round1",
+                    [
+                        identity_part(self.identity),
+                        group_element_part("z", party.z, group.element_bits),
+                        group_element_part("t", t_value, params.modulus_bits),
+                        group_element_part("s", s_value, params.modulus_bits),
+                    ],
+                )
+            )
+        ]
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        if message.round_label == "ssn-round1":
+            sender: Identity = message.value("identity")  # type: ignore[assignment]
+            self._round1[sender.name] = (
+                sender,
+                int(message.value("z")),
+                int(message.value("t")),
+                int(message.value("s")),
+            )
+            if len(self._round1) != self.ring.size - 1:
+                return []
+            self._verify_authenticators(now)
+            self._round1_complete = True
+            outs = self._emit_round2(now)
+            buffered, self._round2_buffer = self._round2_buffer, []
+            for held in buffered:
+                outs.extend(self.on_message(held, now))
+            return outs
+        if message.round_label == "ssn-round2":
+            if not self._round1_complete:
+                self._round2_buffer.append(message)
+                return []
+            sender = message.value("identity")  # type: ignore[assignment]
+            self._x_table[sender.name] = int(message.value("X"))
+            if len(self._x_table) == self.ring.size:
+                self._derive_key(now)
+        return []
+
+    # ------------------------------------------------------- authentication
+    def _verify_authenticators(self, now: float) -> None:
+        params = self.setup.gq_params
+        party = self.party
+        for sender, z_value, t_value, s_value in self._round1.values():
+            cache_key = (sender.name, z_value, t_value, s_value)
+            accepted = self.check_cache.get(cache_key)
+            if accepted is None:
+                challenge = params.hash_function.challenge(
+                    sender.to_bytes(), int_to_bytes(z_value), int_to_bytes(t_value)
+                )
+                hid = params.identity_public_key(sender.to_bytes())
+                check = (
+                    pow(s_value, params.e, params.n)
+                    * pow(modinv(hid, params.n), challenge, params.n)
+                ) % params.n
+                accepted = self.check_cache[cache_key] = check == t_value
+            party.recorder.record_operation("modexp", 2)
+            if not accepted:
+                raise VerificationError(
+                    f"{self.identity.name} rejected {sender.name}'s SSN authenticator"
+                )
+            self._z_view[sender.name] = z_value
+
+    # --------------------------------------------------------------- round 2
+    def _emit_round2(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        party = self.party
+        left = self.ring.left_neighbour(self.identity)
+        right = self.ring.right_neighbour(self.identity)
+        x_value = compute_bd_x_value(
+            group, self._z_view[right.name], self._z_view[left.name], party.r
+        )
+        party.recorder.record_operation("modexp")
+        self._x_table[self.identity.name] = x_value
+        self.waiting_for = "ssn-round2"
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    "ssn-round2",
+                    [
+                        identity_part(self.identity),
+                        group_element_part("X", x_value, group.element_bits),
+                    ],
+                )
+            )
+        ]
+
+    def _derive_key(self, now: float) -> None:
+        group = self.setup.group
+        party = self.party
+        party.group_key = compute_bd_key(
+            group, self._ring_names, self.identity.name, party.r, self._z_view, self._x_table
+        )
+        party.recorder.record_operation("modexp")
+        self.finished = True
+        self.waiting_for = None
+
+
 class SSNProtocol(Protocol):
     """ID-based BD with per-member implicit authentication (the SSN baseline).
 
@@ -61,22 +211,21 @@ class SSNProtocol(Protocol):
 
     name = "ssn"
 
-    def run(
+    def build_machines(
         self,
         members: Sequence[Identity],
         *,
-        medium: Optional[BroadcastMedium] = None,
+        medium: BroadcastMedium,
         seed: object = 0,
-    ) -> ProtocolResult:
-        """Run the SSN-style protocol among ``members``."""
+        **kwargs: object,
+    ) -> MachinePlan:
+        """Decompose the SSN-style protocol into per-member machines."""
+        if kwargs:
+            raise ParameterError(f"unknown run options: {sorted(kwargs)}")
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label="ssn")
-        group = self.setup.group
-        params = self.setup.gq_params
-
         parties: Dict[str, PartyState] = {}
         for identity in members:
             key = self.setup.enroll(identity)
@@ -88,102 +237,25 @@ class SSNProtocol(Protocol):
                 rng=rng.fork(f"party/{identity.name}"),
                 node=node,
             )
-
-        # Round 1: broadcast z_i together with an identity-based authenticator
-        # (t_i, s_i) over z_i; both authenticator operations are modular
-        # exponentiations in Z_n and are tallied as such.
-        authenticators: Dict[str, Dict[str, int]] = {}
-        for identity in ring.members:
-            party = parties[identity.name]
-            party.r = group.random_exponent(party.rng)
-            party.z = group.exp_g(party.r)
-            tau = party.rng.zn_star(params.n)
-            t_value = pow(tau, params.e, params.n)
-            challenge = params.hash_function.challenge(
-                identity.to_bytes(), int_to_bytes(party.z), int_to_bytes(t_value)
-            )
-            s_value = (tau * pow(party.private_key.secret, challenge, params.n)) % params.n
-            party.recorder.record_operation("modexp", 3)  # z_i, t_i, S_ID^c
-            authenticators[identity.name] = {"t": t_value, "s": s_value}
-            medium.send(
-                Message.broadcast(
-                    identity,
-                    "ssn-round1",
-                    [
-                        identity_part(identity),
-                        group_element_part("z", party.z, group.element_bits),
-                        group_element_part("t", t_value, params.modulus_bits),
-                        group_element_part("s", s_value, params.modulus_bits),
-                    ],
-                )
-            )
-
-        # Each member verifies every other member's authenticator: two modular
-        # exponentiations per member, the 2(n-1) term of Table 1.  The check
-        # is a pure function of the broadcast (sender, z, t, s) that every
-        # receiver evaluates identically, so its *outcome* is memoised for the
-        # run; each receiver still records its own two exponentiations.
         check_cache: Dict[tuple, bool] = {}
-        z_views: Dict[str, Dict[str, int]] = {}
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = {identity.name: party.z}
-            for message in party.node.drain_inbox("ssn-round1"):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                z_value = int(message.value("z"))
-                t_value = int(message.value("t"))
-                s_value = int(message.value("s"))
-                cache_key = (sender.name, z_value, t_value, s_value)
-                accepted = check_cache.get(cache_key)
-                if accepted is None:
-                    challenge = params.hash_function.challenge(
-                        sender.to_bytes(), int_to_bytes(z_value), int_to_bytes(t_value)
-                    )
-                    hid = params.identity_public_key(sender.to_bytes())
-                    check = (pow(s_value, params.e, params.n) * pow(modinv(hid, params.n), challenge, params.n)) % params.n
-                    accepted = check_cache[cache_key] = check == t_value
-                party.recorder.record_operation("modexp", 2)
-                if not accepted:
-                    raise VerificationError(
-                        f"{identity.name} rejected {sender.name}'s SSN authenticator"
-                    )
-                view[sender.name] = z_value
-            if len(view) != ring.size:
-                raise ProtocolError(f"{identity.name} missed Round 1 messages")
-            z_views[identity.name] = view
+        machines = [
+            _SSNPartyMachine(parties[identity.name], self.setup, ring, check_cache)
+            for identity in ring.members
+        ]
 
-        # Round 2: plain BD X_i broadcast and key computation.
-        ring_names = [m.name for m in ring.members]
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = z_views[identity.name]
-            left = ring.left_neighbour(identity)
-            right = ring.right_neighbour(identity)
-            x_value = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
-            party.recorder.record_operation("modexp")
-            medium.send(
-                Message.broadcast(
-                    identity,
-                    "ssn-round2",
-                    [identity_part(identity), group_element_part("X", x_value, group.element_bits)],
-                )
+        def finish(stats: EngineStats) -> ProtocolResult:
+            state = GroupState(setup=self.setup, ring=ring, parties=parties)
+            state.group_key = parties[ring.controller().name].group_key
+            return ProtocolResult(
+                protocol=self.name,
+                state=state,
+                medium=medium,
+                rounds=2,
+                sim_latency_s=stats.sim_time_s,
+                timeouts=stats.timeouts,
             )
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = z_views[identity.name]
-            x_table: Dict[str, int] = {}
-            for message in party.node.drain_inbox("ssn-round2"):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                x_table[sender.name] = int(message.value("X"))
-            left = ring.left_neighbour(identity)
-            right = ring.right_neighbour(identity)
-            x_table[identity.name] = compute_bd_x_value(group, view[right.name], view[left.name], party.r)
-            party.group_key = compute_bd_key(group, ring_names, identity.name, party.r, view, x_table)
-            party.recorder.record_operation("modexp")
 
-        state = GroupState(setup=self.setup, ring=ring, parties=parties)
-        state.group_key = parties[ring.controller().name].group_key
-        return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+        return MachinePlan(machines=machines, finish=finish, rounds=2)
 
 
 register_protocol("ssn", SSNProtocol)

@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from ..energy.accounting import CostRecorder, DeviceProfile
+from ..engine.executor import EngineConfig, drive_plan
+from ..engine.machine import MachinePlan
 from ..exceptions import KeyConfirmationError, ParameterError, ProtocolError
 from ..groups.params import PAPER_GQ_SET, PAPER_SCHNORR_SET, get_gq_modulus, get_schnorr_group
 from ..groups.schnorr import SchnorrGroup
@@ -233,12 +235,22 @@ class GroupState:
 
 @dataclass
 class ProtocolResult:
-    """What a protocol run returns."""
+    """What a protocol run returns.
+
+    ``sim_latency_s`` and ``timeouts`` are the virtual-time observables of
+    the kernel-driven execution: how long the run took on the simulated
+    radio medium (0.0 under the instant/synchronous driver) and how many
+    round timeouts fired while losses were being recovered.
+    """
 
     protocol: str
     state: GroupState
     medium: BroadcastMedium
     rounds: int
+    #: virtual seconds from first broadcast to quiescence (0.0 in instant mode)
+    sim_latency_s: float = 0.0
+    #: machine-round timeouts fired during the run (loss recovery in virtual time)
+    timeouts: int = 0
 
     @property
     def group_key(self) -> Optional[int]:
@@ -268,9 +280,19 @@ class ProtocolResult:
 class Protocol(abc.ABC):
     """Common strategy interface over every group-key-agreement protocol.
 
-    The proposed protocol and all baselines expose the same two entry points:
+    The proposed protocol and all baselines expose the same entry points:
 
-    * :meth:`run` — establish a key among a member list from scratch;
+    * :meth:`build_machines` — decompose one run into per-party
+      :class:`~repro.engine.machine.PartyMachine` round state machines (the
+      reactive core every subclass implements);
+    * :meth:`run` — establish a key among a member list from scratch, by
+      stepping the machines on a virtual-time
+      :class:`~repro.engine.kernel.EventKernel` to quiescence.  Without an
+      ``engine`` profile this is the *instant* mode, bit-identical to the
+      historical synchronous execution; with an
+      :class:`~repro.engine.executor.EngineConfig` carrying a latency model,
+      deliveries take virtual time and losses surface as round timeouts and
+      retransmissions (see :mod:`repro.engine`);
     * :meth:`apply_event` — transform an established :class:`GroupState`
       under a :mod:`repro.network.events` membership event.
 
@@ -297,14 +319,43 @@ class Protocol(abc.ABC):
         self.setup = setup
 
     @abc.abstractmethod
+    def build_machines(
+        self,
+        members: Sequence[Identity],
+        *,
+        medium: BroadcastMedium,
+        seed: object = 0,
+        **kwargs: object,
+    ) -> MachinePlan:
+        """Decompose one establishment run into per-party state machines.
+
+        Implementations validate the member list, enroll/attach the parties
+        (in ring order — machine list order *is* the deterministic
+        same-instant transmission order) and return a
+        :class:`~repro.engine.machine.MachinePlan` whose ``finish`` callback
+        assembles the :class:`ProtocolResult` from the engine's statistics.
+        """
+
     def run(
         self,
         members: Sequence[Identity],
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+        **kwargs: object,
     ) -> "ProtocolResult":
-        """Establish a group key among ``members`` and return the result."""
+        """Establish a group key among ``members`` and return the result.
+
+        This is a thin driver over the reactive machines: it builds the
+        :class:`~repro.engine.machine.MachinePlan` and steps the event kernel
+        to quiescence.  ``engine=None`` (the default) runs in instant mode —
+        same transcripts, keys and energy ledgers as the pre-kernel
+        synchronous implementation.
+        """
+        medium = medium if medium is not None else BroadcastMedium()
+        plan = self.build_machines(members, medium=medium, seed=seed, **kwargs)
+        return drive_plan(plan, medium, engine=engine)
 
     def handles_natively(self, event: MembershipEvent) -> bool:
         """Whether ``event`` is served by a dedicated dynamic sub-protocol."""
@@ -317,6 +368,7 @@ class Protocol(abc.ABC):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> "ProtocolResult":
         """Apply a membership event, returning the post-event result.
 
@@ -330,7 +382,32 @@ class Protocol(abc.ABC):
         if medium is not None:
             for member in state.members:
                 medium.detach(member)
-        return self.run(members, medium=medium, seed=seed)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
+
+    def merge_states(
+        self,
+        state: GroupState,
+        other: GroupState,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+    ) -> "ProtocolResult":
+        """Merge another *established* group into this one.
+
+        The generic strategy — all the original BD paper offers — is a full
+        re-execution over the union of both memberships.  The proposed
+        protocol overrides this with its dedicated Merge sub-protocol.  This
+        hook is what lets :class:`~repro.core.session.GroupSession` offer
+        ``merge`` for any registered protocol.
+        """
+        members = list(state.members) + list(other.members)
+        if medium is not None:
+            for member in state.members:
+                medium.detach(member)
+            for member in other.members:
+                medium.detach(member)
+        return self.run(members, medium=medium, seed=seed, engine=engine)
 
     def describe(self) -> str:
         """One-line summary used by reports."""

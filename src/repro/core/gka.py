@@ -17,9 +17,16 @@ of the GQ ID-based signature scheme:
   (``prod X_j = 1 mod p``), and finally derives
   ``K = prod_j g^{r_j r_{j+1}} mod p``.
 
-On a failed check the paper has "all members retransmit again"; the
-implementation models that with a bounded retransmission loop so fault
-injection tests can exercise both the failure and the recovery path.
+The protocol executes as one :class:`~repro.engine.machine.PartyMachine` per
+member on the virtual-time event kernel: Round 1 is emitted from ``start``,
+Round 2 fires when a member's Round-1 view completes (the controller
+deliberately withholds its Round-2 broadcast until it has everyone else's,
+reproducing the paper's "U_1 transmits last").  On a failed batch check the
+paper has "all members retransmit again"; a shared round coordinator — the
+machine analogue of the synchronous implementation's shared verdict flag —
+collects every member's verification verdict and triggers a bounded
+retransmission round when any member rejected, so fault injection tests can
+exercise both the failure and the recovery path.
 
 Per-member cost accounting follows the paper's Table 1 vocabulary: three
 modular exponentiations (``z_i``, ``X_i`` and the final key derivation), one
@@ -31,7 +38,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..exceptions import BatchVerificationError, KeyConfirmationError, ParameterError, ProtocolError
+from ..engine.executor import EngineConfig, EngineStats
+from ..engine.machine import MachinePlan, Outbound, PartyMachine
+from ..exceptions import BatchVerificationError, ParameterError, ProtocolError
 from ..mathutils.modular import product_mod
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import int_to_bytes
@@ -68,6 +77,247 @@ __all__ = ["ProposedGKAProtocol", "TamperFunction"]
 TamperFunction = Callable[[Message, int], Message]
 
 
+class _Round2Coordinator:
+    """Shared verdict collection for one GKA run.
+
+    The synchronous implementation decided "all members retransmit" from a
+    shared ``all_verified`` flag; the reactive decomposition keeps that exact
+    semantics through this object: every machine reports its batch/Lemma-1
+    verdict per attempt, and once all ``n`` verdicts are in the coordinator
+    either finishes the run or wakes every member for the next attempt —
+    raising :class:`~repro.exceptions.BatchVerificationError` once the
+    retransmission budget is exhausted.
+    """
+
+    def __init__(self, ring: RingTopology, max_retransmissions: int) -> None:
+        self.ring = ring
+        self.max_retransmissions = max_retransmissions
+        self.attempt = 0
+        self.machines: List["_GkaPartyMachine"] = []
+        self._verdicts: Dict[str, bool] = {}
+
+    def round2_label(self) -> str:
+        """The current attempt's round label (``round2.0``, ``round2.1``...)."""
+        return f"round2.{self.attempt}"
+
+    def report(self, machine: "_GkaPartyMachine", verdict: bool) -> None:
+        """Record one member's verification verdict and resolve if complete."""
+        self._verdicts[machine.identity.name] = verdict
+        if len(self._verdicts) < self.ring.size:
+            return
+        if all(self._verdicts.values()):
+            for member in self.machines:
+                member.finished = True
+                member.waiting_for = None
+            return
+        self.attempt += 1
+        if self.attempt > self.max_retransmissions:
+            raise BatchVerificationError(
+                "batch verification kept failing after "
+                f"{self.max_retransmissions} retransmissions"
+            )
+        self._verdicts.clear()
+        # "All members retransmit again": non-controllers re-broadcast their
+        # Round 2 immediately; the controller re-arms and, as always,
+        # transmits last — after it has received everyone else's new copy.
+        for member in self.machines:
+            member.prepare_attempt(self.attempt)
+            if not member.is_controller:
+                member.context.wake(member, "retransmit-round2")
+
+
+class _GkaPartyMachine(PartyMachine):
+    """One member's view of the proposed two-round GKA."""
+
+    def __init__(
+        self,
+        party: PartyState,
+        setup: SystemSetup,
+        ring: RingTopology,
+        coordinator: _Round2Coordinator,
+        tamper: Optional[TamperFunction],
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.party = party
+        self.setup = setup
+        self.ring = ring
+        self.coordinator = coordinator
+        self.tamper = tamper
+        self.is_controller = ring.controller().name == party.identity.name
+        self._ring_names = [m.name for m in ring.members]
+        self._z_view: Dict[str, int] = {}
+        self._t_view: Dict[str, int] = {}
+        self._x_table: Dict[str, int] = {}
+        self._s_table: Dict[str, int] = {}
+        self._challenge: Optional[int] = None
+        self._aggregate: Optional[int] = None
+        self._round2_buffer: List[Message] = []
+        self._round1_complete = False
+
+    # ----------------------------------------------------------------- hooks
+    def start(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        params = self.setup.gq_params
+        party = self.party
+        party.r = group.random_exponent(party.rng)
+        party.z = group.exp_g(party.r)
+        party.recorder.record_operation("modexp")  # z_i = g^{r_i}
+        party.tau, party.t = gq_commitment(params, party.rng)
+        self._z_view[self.identity.name] = party.z
+        self._t_view[self.identity.name] = party.t
+        self.waiting_for = "round1"
+        message = Message.broadcast(
+            self.identity,
+            "round1",
+            [
+                identity_part(self.identity),
+                group_element_part("z", party.z, group.element_bits),
+                group_element_part("t", party.t, params.modulus_bits),
+            ],
+        )
+        return [Outbound(message)]
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        label = message.round_label
+        if label == "round1":
+            return self._on_round1(message, now)
+        if label == self.coordinator.round2_label():
+            if not self._round1_complete:
+                # Latency mode can reorder rounds across multi-hop paths;
+                # hold Round-2 copies until the Round-1 view is complete.
+                self._round2_buffer.append(message)
+                return []
+            return self._on_round2(message, now)
+        return []  # stale attempt label after a retransmission round
+
+    def on_wake(self, payload: object, now: float) -> List[Outbound]:
+        if payload == "retransmit-round2":
+            return self._emit_round2(now)
+        return []
+
+    # --------------------------------------------------------------- round 1
+    def _on_round1(self, message: Message, now: float) -> List[Outbound]:
+        sender: Identity = message.value("identity")  # type: ignore[assignment]
+        self._z_view[sender.name] = int(message.value("z"))
+        self._t_view[sender.name] = int(message.value("t"))
+        if len(self._z_view) != self.ring.size:
+            return []
+        self._round1_complete = True
+        outs: List[Outbound] = []
+        if self.is_controller:
+            # U_1 broadcasts last: arm for the others' Round 2 first.
+            self.waiting_for = self.coordinator.round2_label()
+        else:
+            outs.extend(self._emit_round2(now))
+        buffered, self._round2_buffer = self._round2_buffer, []
+        for held in buffered:
+            if held.round_label == self.coordinator.round2_label():
+                outs.extend(self._on_round2(held, now))
+        return outs
+
+    # --------------------------------------------------------------- round 2
+    def _emit_round2(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        params = self.setup.gq_params
+        party = self.party
+        attempt = self.coordinator.attempt
+        label = self.coordinator.round2_label()
+        left = self.ring.left_neighbour(self.identity)
+        right = self.ring.right_neighbour(self.identity)
+        x_value = compute_bd_x_value(
+            group, self._z_view[right.name], self._z_view[left.name], party.r
+        )
+        party.recorder.record_operation("modexp")  # X_i
+        big_z = group.product(self._z_view[name] for name in sorted(self._z_view))
+        big_t = product_mod((self._t_view[name] for name in sorted(self._t_view)), params.n)
+        challenge = params.hash_function.challenge(int_to_bytes(big_t), int_to_bytes(big_z))
+        party.recorder.record_operation("hash")
+        response = gq_response(params, party.private_key, party.tau, challenge)
+        party.recorder.record_signature("gq", "gen")
+        self._challenge = challenge
+        self._aggregate = big_z
+        self._x_table[self.identity.name] = x_value
+        self._s_table[self.identity.name] = response
+        self.waiting_for = label
+        message = Message.broadcast(
+            self.identity,
+            label,
+            [
+                identity_part(self.identity),
+                group_element_part("X", x_value, group.element_bits),
+                group_element_part("s", response, params.modulus_bits),
+            ],
+        )
+        if self.tamper is not None:
+            message = self.tamper(message, attempt)
+        return [Outbound(message)]
+
+    def _on_round2(self, message: Message, now: float) -> List[Outbound]:
+        sender: Identity = message.value("identity")  # type: ignore[assignment]
+        self._x_table[sender.name] = int(message.value("X"))
+        self._s_table[sender.name] = int(message.value("s"))
+        others = self.ring.size - 1
+        received = len(self._x_table) - (1 if self.identity.name in self._x_table else 0)
+        outs: List[Outbound] = []
+        if self.is_controller and self.identity.name not in self._s_table:
+            if received < others:
+                return []
+            # All the others have transmitted: the controller now computes,
+            # broadcasts (last) and verifies its own complete view.
+            outs.extend(self._emit_round2(now))
+            self._verify(now)
+            return outs
+        if len(self._s_table) < self.ring.size:
+            return []
+        self._verify(now)
+        return outs
+
+    # ----------------------------------------------------------- verification
+    def _verify(self, now: float) -> None:
+        group = self.setup.group
+        params = self.setup.gq_params
+        party = self.party
+        assert self._challenge is not None and self._aggregate is not None
+        ordered_identities = [
+            self.ring.members[i].to_bytes() for i in range(self.ring.size)
+        ]
+        ordered_responses = [self._s_table[name] for name in self._ring_names]
+        batch_ok = gq_batch_verify(
+            params,
+            ordered_identities,
+            ordered_responses,
+            self._challenge,
+            int_to_bytes(self._aggregate),
+        )
+        party.recorder.record_signature("gq", "ver")
+        verdict = batch_ok
+        if batch_ok:
+            if not verify_x_product(group, [self._x_table[name] for name in self._ring_names]):
+                verdict = False
+            else:
+                key = compute_bd_key(
+                    group,
+                    self._ring_names,
+                    self.identity.name,
+                    party.r,
+                    self._z_view,
+                    self._x_table,
+                )
+                party.recorder.record_operation("modexp")  # (z_{i-1})^{n r_i}
+                party.group_key = key
+        self.coordinator.report(self, verdict)
+
+    # -------------------------------------------------------- retransmission
+    def prepare_attempt(self, attempt: int) -> None:
+        """Reset the Round-2 tables for retransmission attempt ``attempt``."""
+        self._x_table = {}
+        self._s_table = {}
+        self._challenge = None
+        self._aggregate = None
+        self._round2_buffer = []
+        self.waiting_for = self.coordinator.round2_label()
+
+
 class ProposedGKAProtocol(Protocol):
     """The paper's initial GKA protocol ("Our Prop. sch." column of Table 1)."""
 
@@ -100,76 +350,44 @@ class ProposedGKAProtocol(Protocol):
             )
         return parties
 
-    # ------------------------------------------------------------------- run
-    def run(
+    # -------------------------------------------------------------- machines
+    def build_machines(
         self,
         members: Sequence[Identity],
         *,
-        medium: Optional[BroadcastMedium] = None,
+        medium: BroadcastMedium,
         seed: object = 0,
         tamper: Optional[TamperFunction] = None,
-    ) -> ProtocolResult:
-        """Execute the two-round protocol among ``members`` and return the result."""
+        **kwargs: object,
+    ) -> MachinePlan:
+        """Decompose the two-round protocol into per-member machines."""
+        if kwargs:
+            raise ParameterError(f"unknown run options: {sorted(kwargs)}")
         if len(members) < 2:
             raise ParameterError("the GKA needs at least two members")
         ring = RingTopology(members)
-        medium = medium if medium is not None else BroadcastMedium()
         rng = DeterministicRNG(seed, label="proposed-gka")
         parties = self._build_parties(members, medium, rng)
-        group = self.setup.group
-        params = self.setup.gq_params
+        coordinator = _Round2Coordinator(ring, self.max_retransmissions)
+        machines = [
+            _GkaPartyMachine(parties[identity.name], self.setup, ring, coordinator, tamper)
+            for identity in ring.members
+        ]
+        coordinator.machines = machines
 
-        # ----------------------------------------------------------- Round 1
-        for identity in ring.members:
-            party = parties[identity.name]
-            party.r = group.random_exponent(party.rng)
-            party.z = group.exp_g(party.r)
-            party.recorder.record_operation("modexp")  # z_i = g^{r_i}
-            party.tau, party.t = gq_commitment(params, party.rng)
-            message = Message.broadcast(
-                identity,
-                "round1",
-                [
-                    identity_part(identity),
-                    group_element_part("z", party.z, group.element_bits),
-                    group_element_part("t", party.t, params.modulus_bits),
-                ],
+        def finish(stats: EngineStats) -> ProtocolResult:
+            state = GroupState(setup=self.setup, ring=ring, parties=parties)
+            state.group_key = parties[ring.controller().name].group_key
+            return ProtocolResult(
+                protocol=self.name,
+                state=state,
+                medium=medium,
+                rounds=2,
+                sim_latency_s=stats.sim_time_s,
+                timeouts=stats.timeouts,
             )
-            medium.send(message)
 
-        # Everyone assembles its view of the z and t tables from Round 1.
-        views: Dict[str, Dict[str, Dict[str, int]]] = {}
-        for identity in ring.members:
-            party = parties[identity.name]
-            z_view: Dict[str, int] = {identity.name: party.z}
-            t_view: Dict[str, int] = {identity.name: party.t}
-            for message in party.node.drain_inbox("round1"):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                z_view[sender.name] = int(message.value("z"))
-                t_view[sender.name] = int(message.value("t"))
-            if len(z_view) != ring.size:
-                raise ProtocolError(
-                    f"{identity.name} received {len(z_view) - 1} Round 1 messages, "
-                    f"expected {ring.size - 1}"
-                )
-            views[identity.name] = {"z": z_view, "t": t_view}
-
-        # -------------------------------------------------- Round 2 + verify
-        attempt = 0
-        while True:
-            agreed = self._round2_and_verify(ring, parties, views, medium, attempt, tamper)
-            if agreed:
-                break
-            attempt += 1
-            if attempt > self.max_retransmissions:
-                raise BatchVerificationError(
-                    "batch verification kept failing after "
-                    f"{self.max_retransmissions} retransmissions"
-                )
-
-        state = GroupState(setup=self.setup, ring=ring, parties=parties)
-        state.group_key = parties[ring.controller().name].group_key
-        return ProtocolResult(protocol=self.name, state=state, medium=medium, rounds=2)
+        return MachinePlan(machines=machines, finish=finish, rounds=2)
 
     # ---------------------------------------------------------- dynamic events
     def apply_event(
@@ -179,6 +397,7 @@ class ProposedGKAProtocol(Protocol):
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Dispatch a membership event to the matching dynamic protocol.
 
@@ -197,116 +416,48 @@ class ProposedGKAProtocol(Protocol):
         from .partition import PartitionProtocol
 
         if isinstance(event, JoinEvent):
-            return JoinProtocol(self.setup).run(state, event.joining, medium=medium, seed=seed)
+            return JoinProtocol(self.setup).run(
+                state, event.joining, medium=medium, seed=seed, engine=engine
+            )
         if isinstance(event, LeaveEvent):
-            return LeaveProtocol(self.setup).run(state, event.leaving, medium=medium, seed=seed)
+            return LeaveProtocol(self.setup).run(
+                state, event.leaving, medium=medium, seed=seed, engine=engine
+            )
         if isinstance(event, PartitionEvent):
             return PartitionProtocol(self.setup).run(
-                state, list(event.leaving), medium=medium, seed=seed
+                state, list(event.leaving), medium=medium, seed=seed, engine=engine
             )
         if isinstance(event, MergeEvent):
             # Named child seed (not string concatenation) so the sub-group's
             # randomness is domain-separated like every other consumer.
             other_seed = DeterministicRNG(seed, label="merge-event").derive_seed("other-group")
+            # The incoming group keys itself on its own private radio domain
+            # *before* the networks meet — instant mode, off the shared
+            # medium's virtual clock.
             other = self.run(list(event.other_group), seed=other_seed)
-            # The incoming group was keyed before the networks met; clear its
-            # establishment costs so the merge step is charged only with what
-            # the Merge protocol itself does (the paper's Table 5 accounting).
+            # Clear its establishment costs so the merge step is charged only
+            # with what the Merge protocol itself does (Table 5 accounting).
             other.state.reset_costs()
-            return MergeProtocol(self.setup).run(state, other.state, medium=medium, seed=seed)
+            return MergeProtocol(self.setup).run(
+                state, other.state, medium=medium, seed=seed, engine=engine
+            )
         raise ProtocolError(f"unknown membership event {event!r}")
 
-    # ----------------------------------------------------------- round 2 body
-    def _round2_and_verify(
+    def merge_states(
         self,
-        ring: RingTopology,
-        parties: Dict[str, PartyState],
-        views: Dict[str, Dict[str, Dict[str, int]]],
-        medium: BroadcastMedium,
-        attempt: int,
-        tamper: Optional[TamperFunction],
-    ) -> bool:
-        group = self.setup.group
-        params = self.setup.gq_params
-        round_label = f"round2.{attempt}"
+        state: GroupState,
+        other: GroupState,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+    ) -> ProtocolResult:
+        """Merge an established peer group via the dedicated Merge protocol."""
+        from .merge import MergeProtocol
 
-        # The paper designates U_1 as the trusted controller that broadcasts
-        # last; iterate U_2 ... U_n first, then U_1.
-        broadcast_order = ring.members[1:] + [ring.controller()]
-        challenges: Dict[str, int] = {}
-        aggregates: Dict[str, int] = {}
-
-        for identity in broadcast_order:
-            party = parties[identity.name]
-            view = views[identity.name]
-            z_view, t_view = view["z"], view["t"]
-            left = ring.left_neighbour(identity)
-            right = ring.right_neighbour(identity)
-            x_value = compute_bd_x_value(group, z_view[right.name], z_view[left.name], party.r)
-            party.recorder.record_operation("modexp")  # X_i
-            big_z = group.product(z_view[name] for name in sorted(z_view))
-            big_t = product_mod((t_view[name] for name in sorted(t_view)), params.n)
-            challenge = params.hash_function.challenge(int_to_bytes(big_t), int_to_bytes(big_z))
-            party.recorder.record_operation("hash")
-            response = gq_response(params, party.private_key, party.tau, challenge)
-            party.recorder.record_signature("gq", "gen")
-            challenges[identity.name] = challenge
-            aggregates[identity.name] = big_z
-            message = Message.broadcast(
-                identity,
-                round_label,
-                [
-                    identity_part(identity),
-                    group_element_part("X", x_value, group.element_bits),
-                    group_element_part("s", response, params.modulus_bits),
-                ],
-            )
-            if tamper is not None:
-                message = tamper(message, attempt)
-            medium.send(message)
-
-        # Authentication and key computation at every member.
-        all_verified = True
-        ring_names = [m.name for m in ring.members]
-        for identity in ring.members:
-            party = parties[identity.name]
-            view = views[identity.name]
-            x_table: Dict[str, int] = {}
-            s_table: Dict[str, int] = {}
-            for message in party.node.drain_inbox(round_label):
-                sender: Identity = message.value("identity")  # type: ignore[assignment]
-                x_table[sender.name] = int(message.value("X"))
-                s_table[sender.name] = int(message.value("s"))
-            # Re-add the member's own contribution (it does not receive its
-            # own broadcast).
-            own_left = ring.left_neighbour(identity)
-            own_right = ring.right_neighbour(identity)
-            x_table[identity.name] = compute_bd_x_value(
-                group, view["z"][own_right.name], view["z"][own_left.name], party.r
-            )
-            s_table[identity.name] = gq_response(
-                params, party.private_key, party.tau, challenges[identity.name]
-            )
-            ordered_identities = [parties[name].identity.to_bytes() for name in ring_names]
-            ordered_responses = [s_table[name] for name in ring_names]
-            batch_ok = gq_batch_verify(
-                params,
-                ordered_identities,
-                ordered_responses,
-                challenges[identity.name],
-                int_to_bytes(aggregates[identity.name]),
-            )
-            party.recorder.record_signature("gq", "ver")
-            if not batch_ok:
-                all_verified = False
-                continue
-            if not verify_x_product(group, [x_table[name] for name in ring_names]):
-                all_verified = False
-                continue
-            key = compute_bd_key(group, ring_names, identity.name, party.r, view["z"], x_table)
-            party.recorder.record_operation("modexp")  # (z_{i-1})^{n r_i}
-            party.group_key = key
-        return all_verified
+        return MergeProtocol(self.setup).run(
+            state, other, medium=medium, seed=seed, engine=engine
+        )
 
 
 register_protocol("proposed-gka", ProposedGKAProtocol, aliases=("proposed",))

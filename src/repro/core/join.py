@@ -15,15 +15,21 @@ public-key work:
 * **Key computation** — everyone (including the newcomer) forms
   ``K' = K* · K_{U_n U_{n+1}}`` (equation 6).
 
-Every other member only performs symmetric decryptions and receptions — the
-source of the three-orders-of-magnitude energy gap over re-running BD that
-Table 5 reports.
+Each participant runs as a :class:`~repro.engine.machine.PartyMachine` with a
+role-specific reaction: the newcomer opens with Round 1, ``U_1`` and ``U_n``
+react to it with their Round-2 broadcasts (``U_1``'s flushes first, in ring
+order), ``U_n`` reacts to ``U_1``'s partial key with the Round-3 unicast, and
+every bystander merely collects the two ``E_K`` envelopes.  Every other
+member only performs symmetric decryptions and receptions — the source of the
+three-orders-of-magnitude energy gap over re-running BD that Table 5 reports.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..engine.executor import EngineConfig, EngineStats, drive_plan
+from ..engine.machine import MachinePlan, Outbound, PartyMachine
 from ..exceptions import MembershipError, ParameterError, SignatureError
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import encode_fields, int_to_bytes
@@ -38,6 +44,326 @@ from .base import GroupState, PartyState, ProtocolResult, SystemSetup
 __all__ = ["JoinProtocol"]
 
 
+class _JoinRun:
+    """Shared references for one Join execution (ring roles and identities)."""
+
+    def __init__(
+        self,
+        setup: SystemSetup,
+        scheme: GQSignatureScheme,
+        state: GroupState,
+        joining: Identity,
+        new_party: PartyState,
+    ) -> None:
+        self.setup = setup
+        self.scheme = scheme
+        self.state = state
+        self.joining = joining
+        self.new_party = new_party
+        self.controller = state.ring.controller()
+        self.last = state.ring.last()
+        self.u2 = state.ring.right_neighbour(self.controller)
+
+
+class _NewcomerMachine(PartyMachine):
+    """``U_{n+1}``: broadcast signed keying material, then receive ``K*``."""
+
+    def __init__(self, run: _JoinRun) -> None:
+        super().__init__(run.joining, run.new_party.node)
+        self.run = run
+        self._dh_key: Optional[int] = None
+        self._held: List[Message] = []
+
+    def start(self, now: float) -> List[Outbound]:
+        group = self.run.setup.group
+        params = self.run.setup.gq_params
+        party = self.run.new_party
+        party.r = group.random_exponent(party.rng)
+        party.z = group.exp_g(party.r)
+        party.recorder.record_operation("modexp")  # z_{n+1}
+        # The newcomer also publishes a GQ commitment t_{n+1} so that it can
+        # take part in later Leave/Partition re-keying exactly like a member
+        # that ran the initial GKA.  This is a small completion of the paper's
+        # Join round 1 (documented in DESIGN.md); its cost is folded into the
+        # GQ signature generation recorded below.
+        party.tau, party.t = gq_commitment(params, party.rng)
+        body = encode_fields(
+            [self.identity.to_bytes(), int_to_bytes(party.z), int_to_bytes(party.t)]
+        )
+        signature = self.run.scheme.sign(party.private_key, body, party.rng)
+        party.recorder.record_signature("gq", "gen")
+        self.waiting_for = "join-round2-un"
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    "join-round1",
+                    [
+                        identity_part(self.identity),
+                        group_element_part("z", party.z, group.element_bits),
+                        group_element_part("t", party.t, params.modulus_bits),
+                        signature_part(signature),
+                    ],
+                )
+            )
+        ]
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        group = self.run.setup.group
+        party = self.run.new_party
+        if message.round_label == "join-round2-un":
+            # Verify U_n's signature over (E_K(DH), z_n), then derive the DH
+            # key it shares with U_n from the broadcast z_n.
+            sealed_dh = message.value("E_K(DH)")
+            zn = int(message.value("z_n"))
+            body = encode_fields([sealed_dh.to_bytes(), int_to_bytes(zn)])
+            if not self.run.scheme.verify(
+                self.run.last.to_bytes(), body, message.value("signature")
+            ):
+                raise SignatureError("the joining user rejected U_n's signature")
+            party.recorder.record_signature("gq", "ver")
+            self._dh_key = group.power(zn, party.r)
+            party.recorder.record_operation("modexp")
+            self.waiting_for = "join-round3-un"
+            held, self._held = self._held, []
+            outs: List[Outbound] = []
+            for pending in held:
+                outs.extend(self.on_message(pending, now))
+            return outs
+        if message.round_label == "join-round3-un":
+            if self._dh_key is None:
+                # Multi-hop latency can deliver the unicast before U_n's
+                # broadcast; hold it until the DH key exists.
+                self._held.append(message)
+                return []
+            envelope = SymmetricEnvelope(self._dh_key)
+            k_star = envelope.open_group_element(
+                message.value("E_DH(K*)"), self.run.last.to_bytes()
+            )
+            party.recorder.record_operation("symmetric")
+            party.group_key = (k_star * self._dh_key) % group.p
+            self.finished = True
+            self.waiting_for = None
+        return []
+
+
+class _ControllerMachine(PartyMachine):
+    """``U_1``: refresh ``r_1``, distribute ``K*`` under ``E_K``."""
+
+    def __init__(self, run: _JoinRun, party: PartyState) -> None:
+        super().__init__(party.identity, party.node)
+        self.run = run
+        self.party = party
+        self._k_star: Optional[int] = None
+        self._new_r1: Optional[int] = None
+        self._group_envelope: Optional[SymmetricEnvelope] = None
+        self._held: List[Message] = []
+
+    def start(self, now: float) -> List[Outbound]:
+        self.waiting_for = "join-round1"
+        return []
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        group = self.run.setup.group
+        party = self.party
+        if message.round_label == "join-round2-un" and self._group_envelope is None:
+            self._held.append(message)  # overtook the newcomer's round 1
+            return []
+        if message.round_label == "join-round1":
+            body = encode_fields(
+                [
+                    self.run.joining.to_bytes(),
+                    int_to_bytes(int(message.value("z"))),
+                    int_to_bytes(int(message.value("t"))),
+                ]
+            )
+            if not self.run.scheme.verify(
+                self.run.joining.to_bytes(), body, message.value("signature")
+            ):
+                raise SignatureError("U_1 rejected the joining user's signature")
+            party.recorder.record_signature("gq", "ver")
+            z2 = self.run.state.party(self.run.u2).z
+            zn = self.run.state.party(self.run.last).z
+            z_new = int(message.value("z"))
+            current_key = party.group_key
+            assert z2 is not None and zn is not None and party.r is not None
+            assert current_key is not None
+            self._new_r1 = group.random_exponent(party.rng)
+            self._k_star = (
+                current_key
+                * group.power((z2 * zn) % group.p, -party.r)
+                * group.power((z2 * z_new) % group.p, self._new_r1)
+            ) % group.p
+            party.recorder.record_operation("modexp", 2)
+            self._group_envelope = SymmetricEnvelope(current_key)
+            sealed = self._group_envelope.seal_group_element(
+                self._k_star, self.identity.to_bytes(), party.rng
+            )
+            party.recorder.record_operation("symmetric")
+            self.waiting_for = "join-round2-un"
+            outs = [
+                Outbound(
+                    Message.broadcast(
+                        self.identity,
+                        "join-round2-u1",
+                        [identity_part(self.identity), envelope_part(sealed, "E_K(K*)")],
+                    )
+                )
+            ]
+            held, self._held = self._held, []
+            for pending in held:
+                outs.extend(self.on_message(pending, now))
+            return outs
+        if message.round_label == "join-round2-un":
+            assert self._group_envelope is not None and self._k_star is not None
+            dh_key = self._group_envelope.open_group_element(
+                message.value("E_K(DH)"), self.run.last.to_bytes()
+            )
+            party.recorder.record_operation("symmetric")
+            party.group_key = (self._k_star * dh_key) % group.p
+            party.r = self._new_r1
+            party.z = None  # g^{r'_1} is never broadcast in the Join protocol
+            self.finished = True
+            self.waiting_for = None
+        return []
+
+
+class _LastMemberMachine(PartyMachine):
+    """``U_n``: bridge the newcomer in via the DH key it shares with it."""
+
+    def __init__(self, run: _JoinRun, party: PartyState) -> None:
+        super().__init__(party.identity, party.node)
+        self.run = run
+        self.party = party
+        self._dh_key: Optional[int] = None
+        self._group_envelope: Optional[SymmetricEnvelope] = None
+        self._held: List[Message] = []
+
+    def start(self, now: float) -> List[Outbound]:
+        self.waiting_for = "join-round1"
+        return []
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        group = self.run.setup.group
+        party = self.party
+        if message.round_label == "join-round2-u1" and self._group_envelope is None:
+            self._held.append(message)  # overtook the newcomer's round 1
+            return []
+        if message.round_label == "join-round1":
+            body = encode_fields(
+                [
+                    self.run.joining.to_bytes(),
+                    int_to_bytes(int(message.value("z"))),
+                    int_to_bytes(int(message.value("t"))),
+                ]
+            )
+            if not self.run.scheme.verify(
+                self.run.joining.to_bytes(), body, message.value("signature")
+            ):
+                raise SignatureError("U_n rejected the joining user's signature")
+            party.recorder.record_signature("gq", "ver")
+            z_new = int(message.value("z"))
+            assert party.r is not None and party.z is not None
+            current_key = party.group_key
+            assert current_key is not None
+            self._dh_key = group.power(z_new, party.r)
+            party.recorder.record_operation("modexp")
+            self._group_envelope = SymmetricEnvelope(current_key)
+            sealed_dh = self._group_envelope.seal_group_element(
+                self._dh_key, self.identity.to_bytes(), party.rng
+            )
+            party.recorder.record_operation("symmetric")
+            body = encode_fields([sealed_dh.to_bytes(), int_to_bytes(party.z)])
+            signature = self.run.scheme.sign(party.private_key, body, party.rng)
+            party.recorder.record_signature("gq", "gen")
+            self.waiting_for = "join-round2-u1"
+            outs = [
+                Outbound(
+                    Message.broadcast(
+                        self.identity,
+                        "join-round2-un",
+                        [
+                            identity_part(self.identity),
+                            envelope_part(sealed_dh, "E_K(DH)"),
+                            group_element_part("z_n", party.z, group.element_bits),
+                            signature_part(signature),
+                        ],
+                    )
+                )
+            ]
+            held, self._held = self._held, []
+            for pending in held:
+                outs.extend(self.on_message(pending, now))
+            return outs
+        if message.round_label == "join-round2-u1":
+            assert self._group_envelope is not None and self._dh_key is not None
+            k_star = self._group_envelope.open_group_element(
+                message.value("E_K(K*)"), self.run.controller.to_bytes()
+            )
+            party.recorder.record_operation("symmetric")
+            dh_envelope = SymmetricEnvelope(self._dh_key)
+            sealed_for_newcomer = dh_envelope.seal_group_element(
+                k_star, self.identity.to_bytes(), party.rng
+            )
+            party.recorder.record_operation("symmetric")
+            party.group_key = (k_star * self._dh_key) % group.p
+            self.finished = True
+            self.waiting_for = None
+            return [
+                Outbound(
+                    Message.unicast(
+                        self.identity,
+                        self.run.joining,
+                        "join-round3-un",
+                        [
+                            identity_part(self.identity),
+                            envelope_part(sealed_for_newcomer, "E_DH(K*)"),
+                        ],
+                    )
+                )
+            ]
+        return []
+
+
+class _BystanderMachine(PartyMachine):
+    """Any other member: two symmetric decryptions, no exponentiations."""
+
+    def __init__(self, run: _JoinRun, party: PartyState) -> None:
+        super().__init__(party.identity, party.node)
+        self.run = run
+        self.party = party
+        self._sealed: Dict[str, object] = {}
+
+    def start(self, now: float) -> List[Outbound]:
+        self.waiting_for = "join-round2-u1"
+        return []
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        if message.round_label in ("join-round2-u1", "join-round2-un"):
+            part_name = "E_K(K*)" if message.round_label == "join-round2-u1" else "E_K(DH)"
+            self._sealed[message.round_label] = message.value(part_name)
+            self.waiting_for = (
+                "join-round2-un" if message.round_label == "join-round2-u1" else "join-round2-u1"
+            )
+        if len(self._sealed) == 2:
+            group = self.run.setup.group
+            party = self.party
+            current_key = party.group_key
+            assert current_key is not None
+            envelope = SymmetricEnvelope(current_key)
+            k_star = envelope.open_group_element(
+                self._sealed["join-round2-u1"], self.run.controller.to_bytes()
+            )
+            dh_key = envelope.open_group_element(
+                self._sealed["join-round2-un"], self.run.last.to_bytes()
+            )
+            party.recorder.record_operation("symmetric", 2)
+            party.group_key = (k_star * dh_key) % group.p
+            self.finished = True
+            self.waiting_for = None
+        return []
+
+
 class JoinProtocol:
     """Admit one new member into an established group."""
 
@@ -47,38 +373,23 @@ class JoinProtocol:
         self.setup = setup
         self._scheme = GQSignatureScheme(setup.gq_params)
 
-    # ------------------------------------------------------------------- run
-    def run(
+    # -------------------------------------------------------------- machines
+    def build_machines(
         self,
         state: GroupState,
         joining: Identity,
         *,
-        medium: Optional[BroadcastMedium] = None,
+        medium: BroadcastMedium,
         seed: object = 0,
-    ) -> ProtocolResult:
-        """Run the Join protocol, returning the new group state.
-
-        ``state`` must be an agreed group (every member holds the same key);
-        the returned :class:`ProtocolResult` contains the enlarged group with
-        the new key ``K'``.
-        """
+    ) -> MachinePlan:
+        """Decompose the Join protocol into per-member machines."""
         if not state.all_agree():
             raise ParameterError("the current group has not agreed on a key; run the GKA first")
         if joining in state.ring:
             raise MembershipError(f"{joining.name!r} is already a group member")
-        group = self.setup.group
         rng = DeterministicRNG(seed, label="join")
-        medium = medium if medium is not None else BroadcastMedium()
         for member in state.ring.members:
             medium.attach(state.party(member).node)
-
-        controller = state.ring.controller()          # U_1
-        last = state.ring.last()                      # U_n
-        u2 = state.ring.right_neighbour(controller)   # U_2
-        u1_state = state.party(controller)
-        un_state = state.party(last)
-        current_key = u1_state.group_key
-        assert current_key is not None
 
         # The joining party: enrolled with the PKG, given a node on the medium.
         new_key_pair = self.setup.enroll(joining)
@@ -91,140 +402,55 @@ class JoinProtocol:
             node=new_node,
         )
 
-        # ----------------------------------------------------------- Round 1
-        new_party.r = group.random_exponent(new_party.rng)
-        new_party.z = group.exp_g(new_party.r)
-        new_party.recorder.record_operation("modexp")  # z_{n+1}
-        # The newcomer also publishes a GQ commitment t_{n+1} so that it can
-        # take part in later Leave/Partition re-keying exactly like a member
-        # that ran the initial GKA.  This is a small completion of the paper's
-        # Join round 1 (documented in DESIGN.md); its cost is folded into the
-        # GQ signature generation recorded below.
-        new_party.tau, new_party.t = gq_commitment(self.setup.gq_params, new_party.rng)
-        round1_body = encode_fields(
-            [joining.to_bytes(), int_to_bytes(new_party.z), int_to_bytes(new_party.t)]
-        )
-        sigma_new = self._scheme.sign(new_party.private_key, round1_body, new_party.rng)
-        new_party.recorder.record_signature("gq", "gen")
-        medium.send(
-            Message.broadcast(
-                joining,
-                "join-round1",
-                [
-                    identity_part(joining),
-                    group_element_part("z", new_party.z, group.element_bits),
-                    group_element_part("t", new_party.t, self.setup.gq_params.modulus_bits),
-                    signature_part(sigma_new),
-                ],
-            )
-        )
-
-        # ----------------------------------------------------------- Round 2
-        # (1) U_1: verify the newcomer, refresh r_1, compute and distribute K*.
-        if not self._scheme.verify(joining.to_bytes(), round1_body, sigma_new):
-            raise SignatureError("U_1 rejected the joining user's signature")
-        u1_state.recorder.record_signature("gq", "ver")
-        z2 = state.party(u2).z
-        zn = un_state.z
-        z_new = new_party.z
-        assert z2 is not None and zn is not None and u1_state.r is not None
-        new_r1 = group.random_exponent(u1_state.rng)
-        k_star = (
-            current_key
-            * group.power((z2 * zn) % group.p, -u1_state.r)
-            * group.power((z2 * z_new) % group.p, new_r1)
-        ) % group.p
-        u1_state.recorder.record_operation("modexp", 2)
-        group_envelope = SymmetricEnvelope(current_key)
-        sealed_kstar = group_envelope.seal_group_element(k_star, controller.to_bytes(), u1_state.rng)
-        u1_state.recorder.record_operation("symmetric")
-        medium.send(
-            Message.broadcast(
-                controller,
-                "join-round2-u1",
-                [identity_part(controller), envelope_part(sealed_kstar, "E_K(K*)")],
-            )
-        )
-
-        # (2) U_n: verify the newcomer, derive the DH key, distribute it signed.
-        if not self._scheme.verify(joining.to_bytes(), round1_body, sigma_new):
-            raise SignatureError("U_n rejected the joining user's signature")
-        un_state.recorder.record_signature("gq", "ver")
-        assert un_state.r is not None
-        dh_key = group.power(z_new, un_state.r)
-        un_state.recorder.record_operation("modexp")
-        sealed_dh = group_envelope.seal_group_element(dh_key, last.to_bytes(), un_state.rng)
-        un_state.recorder.record_operation("symmetric")
-        round2_body = encode_fields([sealed_dh.to_bytes(), int_to_bytes(zn)])
-        sigma_un = self._scheme.sign(un_state.private_key, round2_body, un_state.rng)
-        un_state.recorder.record_signature("gq", "gen")
-        medium.send(
-            Message.broadcast(
-                last,
-                "join-round2-un",
-                [
-                    identity_part(last),
-                    envelope_part(sealed_dh, "E_K(DH)"),
-                    group_element_part("z_n", zn, group.element_bits),
-                    signature_part(sigma_un),
-                ],
-            )
-        )
-
-        # ----------------------------------------------------------- Round 3
-        # (1) U_{n+1}: verify U_n's signature and derive the shared DH key.
-        if not self._scheme.verify(last.to_bytes(), round2_body, sigma_un):
-            raise SignatureError("the joining user rejected U_n's signature")
-        new_party.recorder.record_signature("gq", "ver")
-        dh_key_newcomer = group.power(zn, new_party.r)
-        new_party.recorder.record_operation("modexp")
-
-        # (2) U_n: recover K* from U_1's envelope and forward it to the newcomer.
-        k_star_at_un = group_envelope.open_group_element(sealed_kstar, controller.to_bytes())
-        un_state.recorder.record_operation("symmetric")
-        dh_envelope = SymmetricEnvelope(dh_key)
-        sealed_kstar_for_new = dh_envelope.seal_group_element(k_star_at_un, last.to_bytes(), un_state.rng)
-        un_state.recorder.record_operation("symmetric")
-        medium.send(
-            Message.unicast(
-                last,
-                joining,
-                "join-round3-un",
-                [identity_part(last), envelope_part(sealed_kstar_for_new, "E_DH(K*)")],
-            )
-        )
-
-        # ------------------------------------------------------ key derivation
-        new_key = (k_star * dh_key) % group.p
-
-        # The newcomer: open U_n's envelope under the DH key it derived itself.
-        newcomer_envelope = SymmetricEnvelope(dh_key_newcomer)
-        k_star_at_new = newcomer_envelope.open_group_element(sealed_kstar_for_new, last.to_bytes())
-        new_party.recorder.record_operation("symmetric")
-        new_party.group_key = (k_star_at_new * dh_key_newcomer) % group.p
-
-        # U_1: recover the DH key from U_n's envelope.
-        dh_at_u1 = group_envelope.open_group_element(sealed_dh, last.to_bytes())
-        u1_state.recorder.record_operation("symmetric")
-        u1_state.group_key = (k_star * dh_at_u1) % group.p
-        u1_state.r = new_r1
-        u1_state.z = None  # g^{r'_1} is never broadcast in the Join protocol
-
-        # U_n already holds both pieces.
-        un_state.group_key = (k_star_at_un * dh_key) % group.p
-
-        # Everyone else: two symmetric decryptions, no exponentiations.
+        run = _JoinRun(self.setup, self._scheme, state, joining, new_party)
+        machines: List[PartyMachine] = []
         for member in state.ring.members:
-            if member.name in (controller.name, last.name):
-                continue
-            bystander = state.party(member)
-            k_star_here = group_envelope.open_group_element(sealed_kstar, controller.to_bytes())
-            dh_here = group_envelope.open_group_element(sealed_dh, last.to_bytes())
-            bystander.recorder.record_operation("symmetric", 2)
-            bystander.group_key = (k_star_here * dh_here) % group.p
+            party = state.party(member)
+            if member.name == run.controller.name:
+                machines.append(_ControllerMachine(run, party))
+            elif member.name == run.last.name:
+                machines.append(_LastMemberMachine(run, party))
+            else:
+                machines.append(_BystanderMachine(run, party))
+        machines.append(_NewcomerMachine(run))
 
-        new_ring = state.ring.with_join(joining)
-        parties: Dict[str, PartyState] = dict(state.parties)
-        parties[joining.name] = new_party
-        new_state = GroupState(setup=self.setup, ring=new_ring, parties=parties, group_key=new_key)
-        return ProtocolResult(protocol=self.name, state=new_state, medium=medium, rounds=3)
+        def finish(stats: EngineStats) -> ProtocolResult:
+            new_ring = state.ring.with_join(joining)
+            parties: Dict[str, PartyState] = dict(state.parties)
+            parties[joining.name] = new_party
+            new_state = GroupState(
+                setup=self.setup,
+                ring=new_ring,
+                parties=parties,
+                group_key=parties[new_ring.controller().name].group_key,
+            )
+            return ProtocolResult(
+                protocol=self.name,
+                state=new_state,
+                medium=medium,
+                rounds=3,
+                sim_latency_s=stats.sim_time_s,
+                timeouts=stats.timeouts,
+            )
+
+        return MachinePlan(machines=machines, finish=finish, rounds=3)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        state: GroupState,
+        joining: Identity,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+    ) -> ProtocolResult:
+        """Run the Join protocol, returning the new group state.
+
+        ``state`` must be an agreed group (every member holds the same key);
+        the returned :class:`ProtocolResult` contains the enlarged group with
+        the new key ``K'``.
+        """
+        medium = medium if medium is not None else BroadcastMedium()
+        plan = self.build_machines(state, joining, medium=medium, seed=seed)
+        return drive_plan(plan, medium, engine=engine)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..engine.executor import EngineConfig
 from ..network.medium import BroadcastMedium
 from ..pki.identity import Identity
 from .base import GroupState, ProtocolResult, SystemSetup
@@ -35,6 +36,7 @@ class LeaveProtocol:
         *,
         medium: Optional[BroadcastMedium] = None,
         seed: object = 0,
+        engine: Optional[EngineConfig] = None,
     ) -> ProtocolResult:
         """Run the Leave protocol for ``leaving`` and return the new group state."""
         return run_departure_rekey(
@@ -45,4 +47,5 @@ class LeaveProtocol:
             round_prefix="leave",
             medium=medium,
             seed=seed,
+            engine=engine,
         )

@@ -17,16 +17,21 @@ the two controllers do public-key work:
 * **Key computation** — every member of the merged group forms
   ``K' = K*_A · K*_B`` (equation 9).
 
+The two controllers run as mirror-image
+:class:`~repro.engine.machine.PartyMachine` instances — each round is a
+reaction to the peer controller's previous broadcast — and every other member
+is a bystander machine that merely collects its controller's two envelopes.
 All non-controller members only perform symmetric decryptions, which is what
 drives their Table 5 energy down to fractions of a millijoule.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
+from ..engine.executor import EngineConfig, EngineStats, drive_plan
+from ..engine.machine import MachinePlan, Outbound, PartyMachine
 from ..exceptions import MembershipError, ParameterError, SignatureError
-from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import encode_fields, int_to_bytes
 from ..network.medium import BroadcastMedium
 from ..network.message import Message, envelope_part, group_element_part, identity_part, signature_part
@@ -38,6 +43,242 @@ from .base import GroupState, PartyState, ProtocolResult, SystemSetup
 __all__ = ["MergeProtocol"]
 
 
+class _MergeControllerMachine(PartyMachine):
+    """One group's controller: the only public-key worker of the merge.
+
+    ``tag``/``peer_tag`` are ``"a"``/``"b"``; the A-side controller is the
+    surviving group's ``U_1``.  The partial-key equations (7) and (8) differ
+    between the sides in where the *refreshed* exponent lands, so the side is
+    explicit rather than symmetric-by-renaming.
+    """
+
+    def __init__(
+        self,
+        setup: SystemSetup,
+        scheme: GQSignatureScheme,
+        party: PartyState,
+        own_state: GroupState,
+        tag: str,
+        peer_controller: Identity,
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.setup = setup
+        self.scheme = scheme
+        self.party = party
+        self.own_state = own_state
+        self.tag = tag
+        self.peer_tag = "b" if tag == "a" else "a"
+        self.peer_controller = peer_controller
+        self._new_r: Optional[int] = None
+        self._new_z: Optional[int] = None
+        self._k_star: Optional[int] = None
+        self._dh_envelope: Optional[SymmetricEnvelope] = None
+        self._own_envelope: Optional[SymmetricEnvelope] = None
+        self._held: List[Message] = []
+
+    # ----------------------------------------------------------------- hooks
+    def start(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        party = self.party
+        z_last = self.own_state.party(self.own_state.ring.last()).z
+        assert z_last is not None
+        self._new_r = group.random_exponent(party.rng)
+        self._new_z = group.exp_g(self._new_r)
+        party.recorder.record_operation("modexp")
+        body = encode_fields(
+            [self.identity.to_bytes(), int_to_bytes(self._new_z), int_to_bytes(z_last)]
+        )
+        signature = self.scheme.sign(party.private_key, body, party.rng)
+        party.recorder.record_signature("gq", "gen")
+        self.waiting_for = f"merge-round1-{self.peer_tag}"
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    f"merge-round1-{self.tag}",
+                    [
+                        identity_part(self.identity),
+                        group_element_part("z_tilde", self._new_z, group.element_bits),
+                        group_element_part("z_last", z_last, group.element_bits),
+                        signature_part(signature),
+                    ],
+                )
+            )
+        ]
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        label = message.round_label
+        if label == f"merge-round1-{self.peer_tag}":
+            return self._on_peer_round1(message, now)
+        if label == f"merge-round2-{self.peer_tag}":
+            if self._dh_envelope is None:
+                self._held.append(message)  # overtook the peer's round 1
+                return []
+            return self._on_peer_round2(message, now)
+        return []
+
+    # ------------------------------------------------------- peer reactions
+    def _on_peer_round1(self, message: Message, now: float) -> List[Outbound]:
+        group = self.setup.group
+        party = self.party
+        peer_new_z = int(message.value("z_tilde"))
+        peer_z_last = int(message.value("z_last"))
+        body = encode_fields(
+            [
+                self.peer_controller.to_bytes(),
+                int_to_bytes(peer_new_z),
+                int_to_bytes(peer_z_last),
+            ]
+        )
+        if not self.scheme.verify(
+            self.peer_controller.to_bytes(), body, message.value("signature")
+        ):
+            raise SignatureError(
+                "U_1 rejected the signature of group B's controller"
+                if self.tag == "a"
+                else "U_{n+1} rejected the signature of group A's controller"
+            )
+        party.recorder.record_signature("gq", "ver")
+        assert self._new_r is not None
+        dh_view = group.power(peer_new_z, self._new_r)
+        party.recorder.record_operation("modexp")
+        ring = self.own_state.ring
+        z2 = self.own_state.party(ring.right_neighbour(self.identity)).z
+        z_last = self.own_state.party(ring.last()).z
+        key = party.group_key
+        assert z2 is not None and z_last is not None and party.r is not None
+        assert key is not None
+        if self.tag == "a":
+            # Equation (7): K*_A = K_A · (z_2 z_n)^{-r_1} (z_2 z_{n+m})^{r̃_1}
+            self._k_star = (
+                key
+                * group.power((z2 * z_last) % group.p, -party.r)
+                * group.power((z2 * peer_z_last) % group.p, self._new_r)
+            ) % group.p
+        else:
+            # Equation (8): K*_B = K_B · (z_n z_{n+2})^{r̃_{n+1}} (z_{n+2} z_{n+m})^{-r_{n+1}}
+            self._k_star = (
+                key
+                * group.power((peer_z_last * z2) % group.p, self._new_r)
+                * group.power((z2 * z_last) % group.p, -party.r)
+            ) % group.p
+        party.recorder.record_operation("modexp", 2)
+        self._own_envelope = SymmetricEnvelope(key)
+        self._dh_envelope = SymmetricEnvelope(dh_view)
+        key_label = f"E_K{self.tag.upper()}(K*_{self.tag.upper()})"
+        dh_label = f"E_DH(K*_{self.tag.upper()})"
+        sealed_for_own = self._own_envelope.seal_group_element(
+            self._k_star, self.identity.to_bytes(), party.rng
+        )
+        sealed_for_peer = self._dh_envelope.seal_group_element(
+            self._k_star, self.identity.to_bytes(), party.rng
+        )
+        party.recorder.record_operation("symmetric", 2)
+        self.waiting_for = f"merge-round2-{self.peer_tag}"
+        outs = [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    f"merge-round2-{self.tag}",
+                    [
+                        identity_part(self.identity),
+                        envelope_part(sealed_for_own, key_label),
+                        envelope_part(sealed_for_peer, dh_label),
+                    ],
+                )
+            )
+        ]
+        held, self._held = self._held, []
+        for pending in held:
+            outs.extend(self.on_message(pending, now))
+        return outs
+
+    def _on_peer_round2(self, message: Message, now: float) -> List[Outbound]:
+        group = self.setup.group
+        party = self.party
+        assert self._dh_envelope is not None and self._own_envelope is not None
+        assert self._k_star is not None
+        peer_k_star = self._dh_envelope.open_group_element(
+            message.value(f"E_DH(K*_{self.peer_tag.upper()})"),
+            self.peer_controller.to_bytes(),
+        )
+        party.recorder.record_operation("symmetric")
+        sealed_for_own = self._own_envelope.seal_group_element(
+            peer_k_star, self.identity.to_bytes(), party.rng
+        )
+        party.recorder.record_operation("symmetric")
+        party.group_key = (self._k_star * peer_k_star) % group.p
+        party.r, party.z = self._new_r, self._new_z
+        self.finished = True
+        self.waiting_for = None
+        return [
+            Outbound(
+                Message.broadcast(
+                    self.identity,
+                    f"merge-round3-{self.tag}",
+                    [
+                        identity_part(self.identity),
+                        envelope_part(
+                            sealed_for_own,
+                            f"E_K{self.tag.upper()}(K*_{self.peer_tag.upper()})",
+                        ),
+                    ],
+                )
+            )
+        ]
+
+
+class _MergeBystanderMachine(PartyMachine):
+    """A non-controller member: collect the controller's two envelopes."""
+
+    def __init__(
+        self,
+        setup: SystemSetup,
+        party: PartyState,
+        tag: str,
+        controller: Identity,
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.setup = setup
+        self.party = party
+        self.tag = tag
+        self.controller = controller
+        self._sealed: Dict[str, object] = {}
+
+    def start(self, now: float) -> List[Outbound]:
+        self.waiting_for = f"merge-round2-{self.tag}"
+        return []
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        label = message.round_label
+        own_part = f"E_K{self.tag.upper()}(K*_{self.tag.upper()})"
+        peer_part = f"E_K{self.tag.upper()}(K*_{'B' if self.tag == 'a' else 'A'})"
+        if label == f"merge-round2-{self.tag}":
+            self._sealed["own"] = message.value(own_part)
+            self.waiting_for = f"merge-round3-{self.tag}"
+        elif label == f"merge-round3-{self.tag}":
+            self._sealed["peer"] = message.value(peer_part)
+        else:
+            return []
+        if len(self._sealed) == 2:
+            group = self.setup.group
+            party = self.party
+            key = party.group_key
+            assert key is not None
+            envelope = SymmetricEnvelope(key)
+            own_k_star = envelope.open_group_element(
+                self._sealed["own"], self.controller.to_bytes()
+            )
+            peer_k_star = envelope.open_group_element(
+                self._sealed["peer"], self.controller.to_bytes()
+            )
+            party.recorder.record_operation("symmetric", 2)
+            party.group_key = (own_k_star * peer_k_star) % group.p
+            self.finished = True
+            self.waiting_for = None
+        return []
+
+
 class MergeProtocol:
     """Merge two established groups into one."""
 
@@ -47,16 +288,16 @@ class MergeProtocol:
         self.setup = setup
         self._scheme = GQSignatureScheme(setup.gq_params)
 
-    # ------------------------------------------------------------------- run
-    def run(
+    # -------------------------------------------------------------- machines
+    def build_machines(
         self,
         state_a: GroupState,
         state_b: GroupState,
         *,
-        medium: Optional[BroadcastMedium] = None,
+        medium: BroadcastMedium,
         seed: object = 0,
-    ) -> ProtocolResult:
-        """Merge ``state_b`` into ``state_a`` and return the combined group state."""
+    ) -> MachinePlan:
+        """Decompose the Merge protocol into per-member machines."""
         if state_a.setup is not self.setup and state_a.setup.group is not self.setup.group:
             raise ParameterError("group A was established under different system parameters")
         if not state_a.all_agree() or not state_b.all_agree():
@@ -65,170 +306,63 @@ class MergeProtocol:
         if overlap:
             raise MembershipError(f"groups overlap: {sorted(overlap)}")
 
-        group = self.setup.group
-        rng = DeterministicRNG(seed, label="merge")
-        medium = medium if medium is not None else BroadcastMedium()
         for member in list(state_a.ring) + list(state_b.ring):
             source = state_a if member in state_a.ring else state_b
             medium.attach(source.party(member).node)
 
-        ctrl_a = state_a.ring.controller()      # U_1
-        ctrl_b = state_b.ring.controller()      # U_{n+1}
-        last_a = state_a.ring.last()            # U_n
-        last_b = state_b.ring.last()            # U_{n+m}
-        second_a = state_a.ring.right_neighbour(ctrl_a)   # U_2
-        second_b = state_b.ring.right_neighbour(ctrl_b)   # U_{n+2}
-
-        a1 = state_a.party(ctrl_a)
-        b1 = state_b.party(ctrl_b)
-        key_a = a1.group_key
-        key_b = b1.group_key
-        assert key_a is not None and key_b is not None
-
-        # ----------------------------------------------------------- Round 1
-        def round1(controller_state: PartyState, controller: Identity, last_z: int, label: str):
-            new_r = group.random_exponent(controller_state.rng)
-            new_z = group.exp_g(new_r)
-            controller_state.recorder.record_operation("modexp")
-            body = encode_fields([controller.to_bytes(), int_to_bytes(new_z), int_to_bytes(last_z)])
-            signature = self._scheme.sign(controller_state.private_key, body, controller_state.rng)
-            controller_state.recorder.record_signature("gq", "gen")
-            medium.send(
-                Message.broadcast(
-                    controller,
-                    label,
-                    [
-                        identity_part(controller),
-                        group_element_part("z_tilde", new_z, group.element_bits),
-                        group_element_part("z_last", last_z, group.element_bits),
-                        signature_part(signature),
-                    ],
-                )
-            )
-            return new_r, new_z, body, signature
-
-        z_last_a = state_a.party(last_a).z
-        z_last_b = state_b.party(last_b).z
-        assert z_last_a is not None and z_last_b is not None
-        new_r_a, new_z_a, body_a, sig_a = round1(a1, ctrl_a, z_last_a, "merge-round1-a")
-        new_r_b, new_z_b, body_b, sig_b = round1(b1, ctrl_b, z_last_b, "merge-round1-b")
-
-        # ----------------------------------------------------------- Round 2
-        # Controller of A.
-        if not self._scheme.verify(ctrl_b.to_bytes(), body_b, sig_b):
-            raise SignatureError("U_1 rejected the signature of group B's controller")
-        a1.recorder.record_signature("gq", "ver")
-        dh_a_view = group.power(new_z_b, new_r_a)
-        a1.recorder.record_operation("modexp")
-        z2_a = state_a.party(second_a).z
-        assert z2_a is not None and a1.r is not None
-        k_star_a = (
-            key_a
-            * group.power((z2_a * z_last_a) % group.p, -a1.r)
-            * group.power((z2_a * z_last_b) % group.p, new_r_a)
-        ) % group.p
-        a1.recorder.record_operation("modexp", 2)
-        env_ka = SymmetricEnvelope(key_a)
-        env_dh_a = SymmetricEnvelope(dh_a_view)
-        sealed_ksa_for_a = env_ka.seal_group_element(k_star_a, ctrl_a.to_bytes(), a1.rng)
-        sealed_ksa_for_b1 = env_dh_a.seal_group_element(k_star_a, ctrl_a.to_bytes(), a1.rng)
-        a1.recorder.record_operation("symmetric", 2)
-        medium.send(
-            Message.broadcast(
-                ctrl_a,
-                "merge-round2-a",
-                [
-                    identity_part(ctrl_a),
-                    envelope_part(sealed_ksa_for_a, "E_KA(K*_A)"),
-                    envelope_part(sealed_ksa_for_b1, "E_DH(K*_A)"),
-                ],
-            )
-        )
-
-        # Controller of B.
-        if not self._scheme.verify(ctrl_a.to_bytes(), body_a, sig_a):
-            raise SignatureError("U_{n+1} rejected the signature of group A's controller")
-        b1.recorder.record_signature("gq", "ver")
-        dh_b_view = group.power(new_z_a, new_r_b)
-        b1.recorder.record_operation("modexp")
-        z2_b = state_b.party(second_b).z
-        assert z2_b is not None and b1.r is not None
-        k_star_b = (
-            key_b
-            * group.power((z_last_a * z2_b) % group.p, new_r_b)
-            * group.power((z2_b * z_last_b) % group.p, -b1.r)
-        ) % group.p
-        b1.recorder.record_operation("modexp", 2)
-        env_kb = SymmetricEnvelope(key_b)
-        env_dh_b = SymmetricEnvelope(dh_b_view)
-        sealed_ksb_for_b = env_kb.seal_group_element(k_star_b, ctrl_b.to_bytes(), b1.rng)
-        sealed_ksb_for_a1 = env_dh_b.seal_group_element(k_star_b, ctrl_b.to_bytes(), b1.rng)
-        b1.recorder.record_operation("symmetric", 2)
-        medium.send(
-            Message.broadcast(
-                ctrl_b,
-                "merge-round2-b",
-                [
-                    identity_part(ctrl_b),
-                    envelope_part(sealed_ksb_for_b, "E_KB(K*_B)"),
-                    envelope_part(sealed_ksb_for_a1, "E_DH(K*_B)"),
-                ],
-            )
-        )
-
-        # ----------------------------------------------------------- Round 3
-        # U_1 recovers K*_B via the controller DH key and relays it to group A.
-        k_star_b_at_a1 = env_dh_a.open_group_element(sealed_ksb_for_a1, ctrl_b.to_bytes())
-        a1.recorder.record_operation("symmetric")
-        sealed_ksb_for_a = env_ka.seal_group_element(k_star_b_at_a1, ctrl_a.to_bytes(), a1.rng)
-        a1.recorder.record_operation("symmetric")
-        medium.send(
-            Message.broadcast(
-                ctrl_a,
-                "merge-round3-a",
-                [identity_part(ctrl_a), envelope_part(sealed_ksb_for_a, "E_KA(K*_B)")],
-            )
-        )
-        # U_{n+1} recovers K*_A and relays it to group B.
-        k_star_a_at_b1 = env_dh_b.open_group_element(sealed_ksa_for_b1, ctrl_a.to_bytes())
-        b1.recorder.record_operation("symmetric")
-        sealed_ksa_for_b = env_kb.seal_group_element(k_star_a_at_b1, ctrl_b.to_bytes(), b1.rng)
-        b1.recorder.record_operation("symmetric")
-        medium.send(
-            Message.broadcast(
-                ctrl_b,
-                "merge-round3-b",
-                [identity_part(ctrl_b), envelope_part(sealed_ksa_for_b, "E_KB(K*_A)")],
-            )
-        )
-
-        # -------------------------------------------------- key computation
-        new_key = (k_star_a * k_star_b) % group.p
-        a1.group_key = (k_star_a * k_star_b_at_a1) % group.p
-        b1.group_key = (k_star_a_at_b1 * k_star_b) % group.p
-        a1.r, a1.z = new_r_a, new_z_a
-        b1.r, b1.z = new_r_b, new_z_b
-
+        ctrl_a = state_a.ring.controller()
+        ctrl_b = state_b.ring.controller()
+        machines: List[PartyMachine] = []
         for member in state_a.ring.members:
+            party = state_a.party(member)
             if member.name == ctrl_a.name:
-                continue
-            bystander = state_a.party(member)
-            ks_a = env_ka.open_group_element(sealed_ksa_for_a, ctrl_a.to_bytes())
-            ks_b = env_ka.open_group_element(sealed_ksb_for_a, ctrl_a.to_bytes())
-            bystander.recorder.record_operation("symmetric", 2)
-            bystander.group_key = (ks_a * ks_b) % group.p
+                machines.append(
+                    _MergeControllerMachine(self.setup, self._scheme, party, state_a, "a", ctrl_b)
+                )
+            else:
+                machines.append(_MergeBystanderMachine(self.setup, party, "a", ctrl_a))
         for member in state_b.ring.members:
+            party = state_b.party(member)
             if member.name == ctrl_b.name:
-                continue
-            bystander = state_b.party(member)
-            ks_b = env_kb.open_group_element(sealed_ksb_for_b, ctrl_b.to_bytes())
-            ks_a = env_kb.open_group_element(sealed_ksa_for_b, ctrl_b.to_bytes())
-            bystander.recorder.record_operation("symmetric", 2)
-            bystander.group_key = (ks_a * ks_b) % group.p
+                machines.append(
+                    _MergeControllerMachine(self.setup, self._scheme, party, state_b, "b", ctrl_a)
+                )
+            else:
+                machines.append(_MergeBystanderMachine(self.setup, party, "b", ctrl_b))
 
-        merged_ring = state_a.ring.merged_with(state_b.ring)
-        parties: Dict[str, PartyState] = {}
-        parties.update(state_a.parties)
-        parties.update(state_b.parties)
-        new_state = GroupState(setup=self.setup, ring=merged_ring, parties=parties, group_key=new_key)
-        return ProtocolResult(protocol=self.name, state=new_state, medium=medium, rounds=3)
+        def finish(stats: EngineStats) -> ProtocolResult:
+            merged_ring = state_a.ring.merged_with(state_b.ring)
+            parties: Dict[str, PartyState] = {}
+            parties.update(state_a.parties)
+            parties.update(state_b.parties)
+            new_state = GroupState(
+                setup=self.setup,
+                ring=merged_ring,
+                parties=parties,
+                group_key=parties[merged_ring.controller().name].group_key,
+            )
+            return ProtocolResult(
+                protocol=self.name,
+                state=new_state,
+                medium=medium,
+                rounds=3,
+                sim_latency_s=stats.sim_time_s,
+                timeouts=stats.timeouts,
+            )
+
+        return MachinePlan(machines=machines, finish=finish, rounds=3)
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        state_a: GroupState,
+        state_b: GroupState,
+        *,
+        medium: Optional[BroadcastMedium] = None,
+        seed: object = 0,
+        engine: Optional[EngineConfig] = None,
+    ) -> ProtocolResult:
+        """Merge ``state_b`` into ``state_a`` and return the combined group state."""
+        medium = medium if medium is not None else BroadcastMedium()
+        plan = self.build_machines(state_a, state_b, medium=medium, seed=seed)
+        return drive_plan(plan, medium, engine=engine)

@@ -12,10 +12,20 @@ Every protocol registers a factory ``setup -> Protocol`` under its canonical
 ``name`` (plus optional aliases).  The built-in protocols — the proposed
 ID-based GKA and all the paper's baselines — are registered lazily on first
 lookup, so importing this module stays cheap and free of import cycles.
+
+Third-party protocols (e.g. custom :class:`~repro.engine.machine.PartyMachine`
+suites) can register with the decorator form:
+
+>>> @register_protocol("my-gka", aliases=("mine",))      # doctest: +SKIP
+... class MyProtocol(Protocol):
+...     name = "my-gka"
+
+Unknown names fail with a "did you mean" suggestion next to the full list.
 """
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..exceptions import ParameterError
@@ -39,17 +49,30 @@ _BUILTINS_LOADED = False
 
 def register_protocol(
     name: str,
-    factory: Callable[["SystemSetup"], "Protocol"],
+    factory: Optional[Callable[["SystemSetup"], "Protocol"]] = None,
     *,
     aliases: Sequence[str] = (),
     replace: bool = False,
-) -> None:
+):
     """Register a protocol factory under ``name`` (plus ``aliases``).
 
     ``factory`` is any callable taking a :class:`~repro.core.base.SystemSetup`
     and returning a :class:`~repro.core.base.Protocol`; protocol classes whose
     constructor takes only the setup can be registered directly.
+
+    Called without a ``factory``, returns a decorator — the idiomatic form
+    for third-party protocol classes::
+
+        @register_protocol("my-gka", aliases=("mine",))
+        class MyProtocol(Protocol):
+            ...
     """
+    if factory is None:
+        def decorator(cls: Callable[["SystemSetup"], "Protocol"]):
+            register_protocol(name, cls, aliases=aliases, replace=replace)
+            return cls
+
+        return decorator
     if not name:
         raise ParameterError("protocol name cannot be empty")
     if not replace and (name in _FACTORIES or name in _ALIASES):
@@ -59,6 +82,7 @@ def register_protocol(
         if not replace and (alias in _FACTORIES or alias in _ALIASES):
             raise ParameterError(f"protocol alias {alias!r} is already registered")
         _ALIASES[alias] = name
+    return factory
 
 
 def _load_builtins() -> None:
@@ -76,12 +100,20 @@ def _load_builtins() -> None:
 
 
 def resolve_protocol(name: str) -> str:
-    """Canonicalise a protocol name or alias, raising on unknown names."""
+    """Canonicalise a protocol name or alias, raising on unknown names.
+
+    The error for an unknown name carries a closest-match suggestion
+    (``did you mean 'bd-ecdsa'?``) ahead of the full list, so typos in
+    benchmark configurations fail with an actionable message.
+    """
     _load_builtins()
     canonical = _ALIASES.get(name, name)
     if canonical not in _FACTORIES:
+        candidates = available_protocols(include_aliases=True)
+        close = difflib.get_close_matches(name, candidates, n=1, cutoff=0.5)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
         raise ParameterError(
-            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+            f"unknown protocol {name!r}{hint}; available: {', '.join(available_protocols())}"
         )
     return canonical
 

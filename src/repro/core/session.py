@@ -2,10 +2,13 @@
 
 This is the façade a downstream application uses: establish a group, apply
 membership events as they happen, pull symmetric keys for actual payload
-encryption, and ask for energy reports.  It wires together the initial GKA
-(:class:`~repro.core.gka.ProposedGKAProtocol`), the four dynamic protocols,
-the key-derivation function, and the energy accounting — everything the paper
-describes, behind half a dozen methods.
+encryption, and ask for energy reports.  The session routes everything
+through the :class:`~repro.core.base.Protocol` strategy interface and the
+name-based registry, so *any* registered protocol — the proposed ID-based
+GKA, every baseline, or a third-party machine registered with
+:func:`~repro.core.registry.register_protocol` — gets the same half-dozen
+methods: protocols with native dynamic sub-protocols serve events through
+them, the rest re-execute, and the session never has to know which.
 
 Example
 -------
@@ -19,38 +22,60 @@ True
 >>> session.leave(members[2])
 >>> len(session.members)
 5
+
+Passing ``protocol="bd-ecdsa"`` (or any registry name, or a
+:class:`~repro.core.base.Protocol` instance) swaps the strategy; passing an
+:class:`~repro.engine.executor.EngineConfig` as ``engine`` runs every step on
+the virtual-time kernel, making :attr:`ProtocolResult.sim_latency_s`
+observable in the session history.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..energy.accounting import DeviceProfile, EnergyBreakdown
+from ..engine.executor import EngineConfig
 from ..exceptions import ProtocolError
 from ..hashing.kdf import derive_key_from_group_element
-from ..network.events import JoinEvent, LeaveEvent, MembershipEvent, MergeEvent, PartitionEvent
+from ..network.events import JoinEvent, LeaveEvent, MembershipEvent, PartitionEvent
 from ..network.medium import BroadcastMedium
 from ..pki.identity import Identity
 from ..symmetric.authenc import SymmetricEnvelope
-from .base import GroupState, ProtocolResult, SystemSetup
-from .gka import ProposedGKAProtocol
-from .join import JoinProtocol
-from .leave import LeaveProtocol
-from .merge import MergeProtocol
-from .partition import PartitionProtocol
+from .base import GroupState, Protocol, ProtocolResult, SystemSetup
+from .registry import create_protocol
 
 __all__ = ["GroupSession"]
+
+#: Default strategy: the paper's proposed protocol.
+_DEFAULT_PROTOCOL = "proposed-gka"
 
 
 class GroupSession:
     """An established secure group with dynamic membership and energy reports."""
 
-    def __init__(self, setup: SystemSetup, state: GroupState, device: Optional[DeviceProfile] = None) -> None:
+    def __init__(
+        self,
+        setup: SystemSetup,
+        state: GroupState,
+        device: Optional[DeviceProfile] = None,
+        *,
+        protocol: Union[str, Protocol, None] = None,
+        engine: Optional[EngineConfig] = None,
+    ) -> None:
         self.setup = setup
         self.state = state
         self.device = device or DeviceProfile()
+        self.protocol = self._resolve(setup, protocol)
+        self.engine = engine
         self.history: List[ProtocolResult] = []
         self._event_counter = 0
+
+    @staticmethod
+    def _resolve(setup: SystemSetup, protocol: Union[str, Protocol, None]) -> Protocol:
+        if isinstance(protocol, Protocol):
+            return protocol
+        return create_protocol(protocol or _DEFAULT_PROTOCOL, setup)
 
     # ---------------------------------------------------------- construction
     @classmethod
@@ -62,10 +87,18 @@ class GroupSession:
         device: Optional[DeviceProfile] = None,
         seed: object = 0,
         medium: Optional[BroadcastMedium] = None,
+        protocol: Union[str, Protocol, None] = None,
+        engine: Optional[EngineConfig] = None,
     ) -> "GroupSession":
-        """Run the initial GKA among ``members`` and wrap the result in a session."""
-        result = ProposedGKAProtocol(setup).run(members, seed=seed, medium=medium)
-        session = cls(setup, result.state, device=device)
+        """Run the initial GKA among ``members`` and wrap the result in a session.
+
+        ``protocol`` selects the strategy by registry name (default: the
+        proposed ID-based GKA) or accepts a ready
+        :class:`~repro.core.base.Protocol` instance.
+        """
+        strategy = cls._resolve(setup, protocol)
+        result = strategy.run(members, seed=seed, medium=medium, engine=engine)
+        session = cls(setup, result.state, device=device, protocol=strategy, engine=engine)
         session.history.append(result)
         return session
 
@@ -103,37 +136,45 @@ class GroupSession:
         self._event_counter += 1
         return f"{label}/{self._event_counter}"
 
-    def join(self, joining: Identity, *, seed: object = None) -> ProtocolResult:
-        """Admit a new member (the paper's Join protocol)."""
-        result = JoinProtocol(self.setup).run(
-            self.state, joining, seed=seed if seed is not None else self._next_seed("join")
+    def _apply(self, event: MembershipEvent, seed: object) -> ProtocolResult:
+        result = self.protocol.apply_event(
+            self.state, event, seed=seed, engine=self.engine
         )
         self.state = result.state
         self.history.append(result)
         return result
+
+    def join(self, joining: Identity, *, seed: object = None) -> ProtocolResult:
+        """Admit a new member (natively, or by re-execution for baselines)."""
+        return self._apply(
+            JoinEvent(joining=joining), seed if seed is not None else self._next_seed("join")
+        )
 
     def leave(self, leaving: Identity, *, seed: object = None) -> ProtocolResult:
-        """Remove one member (the paper's Leave protocol)."""
-        result = LeaveProtocol(self.setup).run(
-            self.state, leaving, seed=seed if seed is not None else self._next_seed("leave")
+        """Remove one member (natively, or by re-execution for baselines)."""
+        return self._apply(
+            LeaveEvent(leaving=leaving), seed if seed is not None else self._next_seed("leave")
         )
-        self.state = result.state
-        self.history.append(result)
-        return result
 
     def partition(self, leaving: Sequence[Identity], *, seed: object = None) -> ProtocolResult:
-        """Remove a set of members at once (the paper's Partition protocol)."""
-        result = PartitionProtocol(self.setup).run(
-            self.state, leaving, seed=seed if seed is not None else self._next_seed("partition")
+        """Remove a set of members at once (a network partition)."""
+        return self._apply(
+            PartitionEvent(leaving=tuple(leaving)),
+            seed if seed is not None else self._next_seed("partition"),
         )
-        self.state = result.state
-        self.history.append(result)
-        return result
 
     def merge(self, other: "GroupSession", *, seed: object = None) -> ProtocolResult:
-        """Merge another session's group into this one (the paper's Merge protocol)."""
-        result = MergeProtocol(self.setup).run(
-            self.state, other.state, seed=seed if seed is not None else self._next_seed("merge")
+        """Merge another session's established group into this one.
+
+        Served by the protocol's :meth:`~repro.core.base.Protocol.merge_states`
+        strategy: the proposed scheme runs its dedicated Merge protocol over
+        both groups' existing state, baselines re-execute over the union.
+        """
+        result = self.protocol.merge_states(
+            self.state,
+            other.state,
+            seed=seed if seed is not None else self._next_seed("merge"),
+            engine=self.engine,
         )
         self.state = result.state
         self.history.append(result)
@@ -141,19 +182,8 @@ class GroupSession:
 
     def apply_event(self, event: MembershipEvent, *, seed: object = None) -> ProtocolResult:
         """Apply a :mod:`repro.network.events` membership event to the session."""
-        if isinstance(event, JoinEvent):
-            return self.join(event.joining, seed=seed)
-        if isinstance(event, LeaveEvent):
-            return self.leave(event.leaving, seed=seed)
-        if isinstance(event, PartitionEvent):
-            return self.partition(list(event.leaving), seed=seed)
-        if isinstance(event, MergeEvent):
-            other_members = list(event.other_group)
-            other = GroupSession.establish(
-                self.setup, other_members, device=self.device, seed=self._next_seed("merge-other")
-            )
-            return self.merge(other, seed=seed)
-        raise ProtocolError(f"unknown membership event {event!r}")
+        kind = getattr(event, "kind", "event")
+        return self._apply(event, seed if seed is not None else self._next_seed(kind))
 
     # ---------------------------------------------------------------- energy
     def energy_report(self, device: Optional[DeviceProfile] = None) -> Dict[str, EnergyBreakdown]:

@@ -1,0 +1,269 @@
+"""Drive a set of :class:`~repro.engine.machine.PartyMachine` to quiescence.
+
+:class:`MachineExecutor` owns the wiring between machines, the shared medium
+and the :class:`~repro.engine.kernel.EventKernel`:
+
+* machine hooks are kernel actions (``rank=RANK_HOOK``) ordered by the
+  machine's ring index, so same-instant emissions leave the medium in ring
+  order — exactly the order the synchronous protocol bodies used to send in;
+* every emitted message goes through the medium (charging senders, receivers
+  and relays through the existing energy accounting) and each delivered copy
+  becomes a scheduled ``on_message`` kernel event;
+* in **instant mode** (no latency model) delivery is same-instant and the
+  medium's legacy :meth:`~repro.network.medium.BroadcastMedium.send` — with
+  its immediate-retry loss semantics — is used unchanged, which keeps
+  kernel-driven execution bit-identical to the historical synchronous path;
+* in **latency mode** each send is a single physical attempt
+  (:meth:`~repro.network.medium.BroadcastMedium.transmit`), deliveries are
+  scheduled at per-receiver delays derived from the latency model (bitrate,
+  hop count, mobility distance), and a group that stalls on a round gets a
+  *timeout wave*: virtual time jumps by ``round_timeout_s`` and every party
+  re-broadcasts its contribution to the stalled rounds — the paper's "all
+  members retransmit" recovery, now visible as latency instead of hidden
+  inside the medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ParameterError, ProtocolError
+from ..network.medium import BroadcastMedium
+from ..network.message import Message
+from .kernel import EventKernel
+from .latency import LatencyModel
+from .machine import MachinePlan, Outbound, PartyMachine
+
+__all__ = ["EngineConfig", "EngineStats", "MachineExecutor", "drive_plan", "run_machines"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution profile for kernel-driven protocol runs.
+
+    ``latency=None`` selects instant mode (the synchronous-equivalent
+    degenerate case); a :class:`~repro.engine.latency.LatencyModel` switches
+    to virtual-time delivery with single-attempt sends and timeout-driven
+    retransmission waves.
+    """
+
+    latency: Optional[LatencyModel] = None
+    #: how long a stalled group waits before a retransmission wave (seconds)
+    round_timeout_s: float = 2.0
+    #: retransmission waves before the run is declared failed
+    max_timeout_waves: int = 25
+    #: queue same-instant transmissions behind each other on the shared channel
+    serialize_channel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.round_timeout_s <= 0:
+            raise ParameterError("round_timeout_s must be positive")
+        if self.max_timeout_waves < 1:
+            raise ParameterError("max_timeout_waves must be at least 1")
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        if self.latency is None:
+            return "instant"
+        return f"{self.latency.describe()}, timeout={self.round_timeout_s:g}s"
+
+
+@dataclass
+class EngineStats:
+    """What one kernel-driven run did in virtual time."""
+
+    #: virtual time at quiescence (0.0 in instant mode)
+    sim_time_s: float = 0.0
+    #: machine-round timeouts fired (unfinished machines summed over waves)
+    timeouts: int = 0
+    #: retransmission waves triggered by timeouts
+    timeout_waves: int = 0
+    #: messages handed to machines (duplicates filtered out)
+    deliveries: int = 0
+    #: messages transmitted (including timeout-wave retransmissions)
+    messages_sent: int = 0
+    #: kernel events processed
+    events: int = 0
+
+
+class MachineExecutor:
+    """Wire machines to a medium and step the kernel until everyone finishes."""
+
+    def __init__(
+        self,
+        machines: Sequence[PartyMachine],
+        medium: BroadcastMedium,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.machines: List[PartyMachine] = list(machines)
+        self.medium = medium
+        self.config = config or EngineConfig()
+        self.latency = self.config.latency
+        self.kernel = EventKernel()
+        self.stats = EngineStats()
+        self._order: Dict[int, int] = {id(m): i for i, m in enumerate(self.machines)}
+        self._by_name: Dict[str, PartyMachine] = {m.identity.name: m for m in self.machines}
+        #: (sender, round_label) pairs each machine has already consumed
+        self._seen: Dict[str, Set[Tuple[str, str]]] = {
+            m.identity.name: set() for m in self.machines
+        }
+        self._busy_until = 0.0
+
+    # --------------------------------------------------------------- context
+    def wake(self, machine: PartyMachine, payload: object) -> None:
+        """Schedule ``machine.on_wake(payload)`` as a next-batch kernel action."""
+        self.kernel.schedule(
+            partial(self._hook, machine, partial(machine.on_wake, payload)),
+            rank=EventKernel.RANK_HOOK,
+            order=self._order[id(machine)],
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> EngineStats:
+        """Execute to quiescence; raises whatever the machines raise."""
+        for index, machine in enumerate(self.machines):
+            machine.context = self
+            self.kernel.schedule(
+                partial(self._hook, machine, machine.start),
+                rank=EventKernel.RANK_HOOK,
+                order=index,
+            )
+        while True:
+            self.kernel.run()
+            unfinished = [m for m in self.machines if not m.finished]
+            if not unfinished:
+                break
+            if self.latency is None:
+                stalled = ", ".join(
+                    f"{m.identity.name} (waiting on {m.waiting_for!r})" for m in unfinished
+                )
+                raise ProtocolError(
+                    f"kernel went quiescent with unfinished parties: {stalled}"
+                )
+            self._timeout_wave(unfinished)
+        self.stats.sim_time_s = self.kernel.now
+        self.stats.events = self.kernel.events_processed
+        return self.stats
+
+    # --------------------------------------------------------- timeout waves
+    def _timeout_wave(self, unfinished: List[PartyMachine]) -> None:
+        self.stats.timeout_waves += 1
+        if self.stats.timeout_waves > self.config.max_timeout_waves:
+            stalled = ", ".join(
+                f"{m.identity.name} (waiting on {m.waiting_for!r})" for m in unfinished
+            )
+            raise ProtocolError(
+                f"protocol still incomplete after {self.config.max_timeout_waves} "
+                f"timeout retransmission waves at t={self.kernel.now:g}s: {stalled}"
+            )
+        self.stats.timeouts += len(unfinished)
+        self.kernel.advance(self.config.round_timeout_s)
+        stalled_rounds: List[str] = []
+        for machine in unfinished:
+            label = machine.waiting_for
+            if label is not None and label not in stalled_rounds:
+                stalled_rounds.append(label)
+        # "All members retransmit": every party re-contributes to the stalled
+        # rounds (machines without a stored transmission contribute nothing).
+        for index, machine in enumerate(self.machines):
+            for label in stalled_rounds:
+                self.kernel.schedule(
+                    partial(self._hook, machine, partial(machine.on_timeout, label)),
+                    rank=EventKernel.RANK_HOOK,
+                    order=index,
+                )
+
+    # ----------------------------------------------------------------- hooks
+    def _hook(self, machine: PartyMachine, action: Callable[[float], List[Outbound]]) -> None:
+        outbounds = action(self.kernel.now)
+        if outbounds:
+            self.kernel.schedule(
+                partial(self._emit, machine, list(outbounds)),
+                rank=EventKernel.RANK_HOOK,
+                order=self._order[id(machine)],
+            )
+
+    def _emit(self, machine: PartyMachine, outbounds: List[Outbound]) -> None:
+        for outbound in outbounds:
+            self._transmit(machine, outbound.message)
+
+    def _transmit(self, machine: PartyMachine, message: Message) -> None:
+        machine.sent[message.round_label] = message
+        now = self.kernel.now
+        if self.latency is None:
+            receipt = self.medium.send(message)
+            channel_wait = tx_time = 0.0
+        else:
+            receipt = self.medium.transmit(message)
+            tx_time = self.latency.tx_time_s(message.wire_bits)
+            tx_start = max(now, self._busy_until) if self.config.serialize_channel else now
+            self._busy_until = tx_start + tx_time
+            channel_wait = tx_start - now
+        self.stats.messages_sent += 1
+        field_ = getattr(self.medium, "field", None)
+        for identity in receipt.delivered_to:
+            receiver = self._by_name.get(identity.name)
+            if receiver is None:
+                continue
+            # The medium already appended the copy to the node's inbox; the
+            # machine consumes the message object directly instead, so take
+            # the copy back out (it is the most recent append).
+            inbox = receiver.node.inbox
+            if inbox and inbox[-1] is message:
+                inbox.pop()
+            else:  # pragma: no cover - defensive: out-of-order inbox use
+                try:
+                    inbox.remove(message)
+                except ValueError:
+                    pass
+            delay = 0.0
+            if self.latency is not None:
+                hops = receipt.hop_by_receiver.get(identity.name, receipt.hops)
+                distance = 0.0
+                if field_ is not None and message.sender.name in field_ and identity.name in field_:
+                    distance = field_.distance(message.sender.name, identity.name)
+                delay = channel_wait + tx_time + self.latency.delivery_delay_s(
+                    message.wire_bits, hops, distance
+                )
+            self.kernel.schedule(
+                partial(self._deliver, receiver, message),
+                delay=delay,
+                rank=EventKernel.RANK_DELIVERY,
+            )
+
+    def _deliver(self, machine: PartyMachine, message: Message) -> None:
+        key = (message.sender.name, message.round_label)
+        seen = self._seen[machine.identity.name]
+        if key in seen:
+            return  # duplicate copy from a retransmission wave
+        seen.add(key)
+        self.stats.deliveries += 1
+        self._hook(machine, partial(machine.on_message, message))
+
+
+def run_machines(
+    machines: Sequence[PartyMachine],
+    medium: BroadcastMedium,
+    *,
+    engine: Optional[EngineConfig] = None,
+) -> EngineStats:
+    """Convenience wrapper: build a :class:`MachineExecutor` and run it."""
+    return MachineExecutor(machines, medium, engine).run()
+
+
+def drive_plan(
+    plan: MachinePlan,
+    medium: BroadcastMedium,
+    *,
+    engine: Optional[EngineConfig] = None,
+):
+    """Execute a :class:`~repro.engine.machine.MachinePlan` to its result.
+
+    The single driver body behind ``Protocol.run`` and the dynamic
+    sub-protocols' ``run`` methods: step the machines to quiescence, then let
+    the plan assemble its protocol result from the engine statistics.
+    """
+    stats = run_machines(plan.machines, medium, engine=engine)
+    return plan.finish(stats)

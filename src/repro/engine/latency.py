@@ -1,0 +1,116 @@
+"""Per-link delivery latency models for the event kernel.
+
+In latency mode the executor schedules each delivery at
+``now + channel_wait + tx_time + delivery_delay``:
+
+* ``channel_wait`` — time the origin waits for the shared broadcast channel
+  (the executor serializes same-instant transmissions, a deliberately simple
+  MAC model);
+* ``tx_time`` — serialization of the message at the transceiver bitrate;
+* ``delivery_delay`` — everything between the origin finishing its
+  transmission and a given receiver decoding the copy: relay
+  re-serializations on multi-hop paths, per-hop processing, and propagation
+  over the mobility distance.
+
+Models only read message sizes and topology facts, never randomness — the
+latency of a given delivery is a pure function of the scenario state, so
+virtual-time traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..energy.transceiver import Transceiver
+from ..exceptions import ParameterError
+
+__all__ = ["LatencyModel", "FixedLatency", "TransceiverLatency"]
+
+#: Speed of light, the default propagation speed (m/s).
+_C = 299_792_458.0
+
+
+class LatencyModel(abc.ABC):
+    """How long transmissions occupy the channel and deliveries take."""
+
+    @abc.abstractmethod
+    def tx_time_s(self, bits: int) -> float:
+        """Channel occupancy of one transmission of ``bits`` bits."""
+
+    @abc.abstractmethod
+    def delivery_delay_s(self, bits: int, hops: int, distance_m: float) -> float:
+        """Delay from the origin's transmission end to one receiver's decode."""
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return type(self).__name__
+
+
+class FixedLatency(LatencyModel):
+    """A constant per-hop link latency (sweep knob, not a radio model).
+
+    ``delay_s`` is charged once per hop; the channel itself is free
+    (``tx_time_s`` is zero), so concurrent broadcasts do not queue.  This is
+    the right model for latency × loss sweeps where the link delay is the
+    independent variable.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ParameterError("link latency cannot be negative")
+        self.delay_s = delay_s
+
+    def tx_time_s(self, bits: int) -> float:
+        return 0.0
+
+    def delivery_delay_s(self, bits: int, hops: int, distance_m: float) -> float:
+        return self.delay_s * max(1, hops)
+
+    def describe(self) -> str:
+        return f"fixed({self.delay_s:g}s/hop)"
+
+
+class TransceiverLatency(LatencyModel):
+    """Latency derived from a transceiver's bitrate plus hop/propagation terms.
+
+    * serialization: ``bits / bitrate`` at the origin, and again at every
+      relay on an ``h``-hop path (``h - 1`` re-serializations);
+    * processing: ``per_hop_overhead_s`` at every relay (MAC access, queueing);
+    * propagation: ``distance_m`` at ``propagation_m_per_s`` (microseconds at
+      radio ranges, but it keeps the model honest for long links).
+    """
+
+    def __init__(
+        self,
+        transceiver: Transceiver,
+        *,
+        per_hop_overhead_s: float = 0.001,
+        propagation_m_per_s: float = _C,
+    ) -> None:
+        if transceiver.bitrate_bps <= 0:
+            raise ParameterError("transceiver bitrate must be positive for latency modelling")
+        if per_hop_overhead_s < 0:
+            raise ParameterError("per-hop overhead cannot be negative")
+        if propagation_m_per_s <= 0:
+            raise ParameterError("propagation speed must be positive")
+        self.transceiver = transceiver
+        self.per_hop_overhead_s = per_hop_overhead_s
+        self.propagation_m_per_s = propagation_m_per_s
+
+    def tx_time_s(self, bits: int) -> float:
+        return bits / self.transceiver.bitrate_bps
+
+    def delivery_delay_s(self, bits: int, hops: int, distance_m: float) -> float:
+        relays = max(1, hops) - 1
+        return (
+            relays * (self.tx_time_s(bits) + self.per_hop_overhead_s)
+            + distance_m / self.propagation_m_per_s
+        )
+
+    def describe(self) -> str:
+        return (
+            f"transceiver({self.transceiver.name}, "
+            f"{self.transceiver.bitrate_bps:g} bps, "
+            f"{self.per_hop_overhead_s * 1000.0:g} ms/hop)"
+        )

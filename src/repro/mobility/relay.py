@@ -195,3 +195,74 @@ class MultiHopMedium(BroadcastMedium):
         self.transcript.append(message)
         self.receipts.append(receipt)
         return receipt
+
+    def transmit(self, message: Message) -> DeliveryReceipt:
+        """One *single* flood wave (engine latency mode): no retry waves.
+
+        Unlike :meth:`send`, graph-unreachable or loss-starved addressed
+        members do not raise — they simply stay out of ``delivered_to`` and
+        the protocol machines recover through round timeouts and
+        retransmission waves in virtual time.  The receipt records the flood
+        depth at which each receiver first decoded its copy
+        (``hop_by_receiver``) so latency models can charge relay
+        re-serialization per hop actually travelled.
+        """
+        origin = self.node(message.sender)
+        origin_name = origin.identity.name
+        bits = message.wire_bits
+        graph = self.neighbours()
+        addressed = {
+            node.identity.name for node in self._nodes.values()
+            if message.addressed_to(node.identity)
+        }
+        covered: Set[str] = {origin_name}
+        hop_of: Dict[str, int] = {}
+        transmissions = 0
+        relay_bits = 0
+        deepest_hop = 0
+        frontier = [origin_name]
+        hop = 0
+        while frontier and hop < self.max_hops and not addressed <= covered:
+            hop += 1
+            next_frontier: List[str] = []
+            for tx_name in frontier:
+                tx_node = self._nodes[tx_name]
+                tx_node.recorder.record_tx(bits)
+                transmissions += 1
+                if tx_name != origin_name:
+                    relay_bits += bits
+                for rx_name in graph[tx_name]:
+                    rx_node = self._nodes[rx_name]
+                    rx_node.recorder.record_rx(bits)
+                    if rx_name in covered:
+                        continue
+                    if self._copy_lost(tx_name, rx_name):
+                        continue
+                    covered.add(rx_name)
+                    hop_of[rx_name] = hop
+                    next_frontier.append(rx_name)
+                    if rx_name in addressed:
+                        rx_node.deliver(message)
+            deepest_hop = max(deepest_hop, hop)
+            frontier = next_frontier
+        if transmissions == 0:
+            # Nobody to reach (or nobody in range): the origin still puts one
+            # copy on air, mirroring send()'s no-addressee behaviour.
+            origin.recorder.record_tx(bits)
+            transmissions = 1
+        delivered = [
+            node.identity for node in self._nodes.values()
+            if node.identity.name in covered and node.identity.name in addressed
+        ]
+        receipt = DeliveryReceipt(
+            message=message,
+            attempts=1,
+            delivered_to=delivered,
+            hops=max(deepest_hop, 1),
+            transmissions=transmissions,
+            relay_bits=relay_bits,
+            hop_by_receiver=hop_of,
+        )
+        self.transcript.append(message)
+        self.receipts.append(receipt)
+        return receipt

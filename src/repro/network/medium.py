@@ -11,7 +11,7 @@ behaviour the paper appeals to when a verification fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import NetworkError
@@ -80,6 +80,11 @@ class DeliveryReceipt:
     hops: int = 1
     transmissions: int = 0
     relay_bits: int = 0
+    #: flood depth at which each receiver first decoded the message (multi-hop
+    #: media only; empty on a single-hop domain, where every receiver is at
+    #: ``hops``).  The engine's latency models read this for per-receiver
+    #: delivery delays.
+    hop_by_receiver: Dict[str, int] = field(default_factory=dict)
 
 
 class BroadcastMedium:
@@ -205,6 +210,53 @@ class BroadcastMedium:
             delivered_to=delivered,
             hops=1,
             transmissions=attempts,
+            relay_bits=0,
+        )
+        self.transcript.append(message)
+        self.receipts.append(receipt)
+        return receipt
+
+    def transmit(self, message: Message) -> DeliveryReceipt:
+        """One *single* physical broadcast attempt (no retries, no raising).
+
+        This is the engine's latency-mode primitive: the sender is charged
+        one transmission, every addressed node in range is charged one
+        reception (it was listening whether or not its copy decoded), and
+        lost or out-of-range copies simply do not appear in ``delivered_to``
+        — recovery is the protocol machines' job, via round timeouts and
+        retransmission waves in virtual time.  Loss is drawn once per
+        broadcast from the uniform knob (a collision / deep fade at the
+        sender) and, for non-uniform link models, once more per directed
+        link.  The legacy :meth:`send` keeps its immediate-retry semantics
+        for synchronous execution.
+        """
+        sender = self.node(message.sender)
+        sender.recorder.record_tx(message.wire_bits)
+        attempt_lost = self._attempt_lost()
+        per_link = not isinstance(self.link_model, UniformLink)
+        delivered: List[Identity] = []
+        for node in self._nodes.values():
+            if not message.addressed_to(node.identity):
+                continue
+            if not self.link_model.reachable(message.sender.name, node.identity.name):
+                continue
+            node.recorder.record_rx(message.wire_bits)
+            if attempt_lost:
+                continue
+            if per_link:
+                loss = self.link_model.loss_probability(
+                    message.sender.name, node.identity.name
+                )
+                if loss > 0.0 and self._rng.randbelow(1_000_000) / 1_000_000.0 < loss:
+                    continue
+            node.deliver(message)
+            delivered.append(node.identity)
+        receipt = DeliveryReceipt(
+            message=message,
+            attempts=1,
+            delivered_to=delivered,
+            hops=1,
+            transmissions=1,
             relay_bits=0,
         )
         self.transcript.append(message)

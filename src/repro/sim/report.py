@@ -49,6 +49,13 @@ class EventRecord:
     ``relay_bits``/``relay_energy_j`` are the share transmitted by relay
     nodes on multi-hop media (zero on a single-hop medium), and
     ``mean_hops`` the average flood depth a message needed.
+
+    ``sim_latency_s`` is how long the step took in *virtual* time on the
+    simulated radio medium (rounds × link delay, loss recovery included) when
+    the step ran under an engine latency model — contrast with
+    ``wall_seconds``, the host CPU time the execution cost.  ``timeouts``
+    counts the round timeouts fired while losses were recovered.  Both are
+    zero under the instant (synchronous-equivalent) driver.
     """
 
     index: int
@@ -66,6 +73,8 @@ class EventRecord:
     relay_bits: int = 0
     relay_energy_j: float = 0.0
     mean_hops: float = 1.0
+    sim_latency_s: float = 0.0
+    timeouts: int = 0
 
     @property
     def total_energy_j(self) -> float:
@@ -152,6 +161,16 @@ class ScenarioReport:
         return sum(r.wall_seconds for r in self.records)
 
     @property
+    def total_sim_latency_s(self) -> float:
+        """Virtual-time seconds the protocol spent completing every step."""
+        return sum(r.sim_latency_s for r in self.records)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Round timeouts fired over the whole scenario (loss recovery)."""
+        return sum(r.timeouts for r in self.records)
+
+    @property
     def agreed_throughout(self) -> bool:
         """Whether every member agreed on the key after every single step."""
         return all(r.agreed for r in self.records)
@@ -199,6 +218,11 @@ class ScenarioReport:
                 f"{self.total_relay_bits} relay bits ({self.total_relay_energy_j:.6f} J), "
                 f"mean flood depth {self.mean_hops:.2f} hops"
             )
+        if self.total_sim_latency_s:
+            lines.append(
+                f"virtual  : {self.total_sim_latency_s:.3f} s of simulated medium time, "
+                f"{self.total_timeouts} round timeouts"
+            )
         lines.append("per-kind :")
         for kind, agg in self.by_kind().items():
             lines.append(
@@ -222,6 +246,8 @@ class ScenarioReport:
         "relay_bits",
         "relay_energy_j",
         "mean_hops",
+        "sim_latency_s",
+        "timeouts",
         "wall_seconds",
         "agreed",
         "total_energy_j",
@@ -262,6 +288,8 @@ class ScenarioReport:
                 "relay_bits": self.total_relay_bits,
                 "relay_energy_j": self.total_relay_energy_j,
                 "mean_hops": self.mean_hops,
+                "sim_latency_s": self.total_sim_latency_s,
+                "timeouts": self.total_timeouts,
                 "wall_seconds": self.total_wall_seconds,
                 "agreed_throughout": self.agreed_throughout,
             },
@@ -300,6 +328,8 @@ _COMPARISON_FIELDS = (
     "relay_bits",
     "relay_energy_j",
     "mean_hops",
+    "sim_latency_s",
+    "timeouts",
     "wall_seconds",
     "agreed",
 )
@@ -316,6 +346,8 @@ def _comparison_row(report: ScenarioReport) -> Dict[str, object]:
         "relay_bits": report.total_relay_bits,
         "relay_energy_j": report.total_relay_energy_j,
         "mean_hops": report.mean_hops,
+        "sim_latency_s": report.total_sim_latency_s,
+        "timeouts": report.total_timeouts,
         "wall_seconds": report.total_wall_seconds,
         "agreed": report.agreed_throughout,
     }
@@ -325,12 +357,15 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
     """Render several protocols' reports for the *same* scenario side by side."""
     _require_same_scenario(reports)
     relaying = any(report.total_relay_bits for report in reports)
+    virtual_time = any(report.total_sim_latency_s for report in reports)
     header = (
         f"{'protocol':<18} {'energy J':>12} {'messages':>9} {'bits':>12} "
         f"{'bits+retry':>12}"
     )
     if relaying:
         header += f" {'tx':>8} {'relay J':>12} {'hops':>5}"
+    if virtual_time:
+        header += f" {'sim s':>9} {'t/o':>5}"
     header += f" {'wall s':>8} {'agreed':>7}"
     lines = [f"scenario: {reports[0].scenario_description}", header, "-" * len(header)]
     for report in reports:
@@ -343,6 +378,8 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
                 f" {report.total_transmissions:>8} {report.total_relay_energy_j:>12.6f} "
                 f"{report.mean_hops:>5.2f}"
             )
+        if virtual_time:
+            line += f" {report.total_sim_latency_s:>9.3f} {report.total_timeouts:>5}"
         line += (
             f" {report.total_wall_seconds:>8.3f} {'yes' if report.agreed_throughout else 'NO':>7}"
         )

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..core.base import GroupState, Protocol, ProtocolResult, SystemSetup
 from ..core.registry import create_protocol
 from ..energy.accounting import DeviceProfile
+from ..engine.executor import EngineConfig
 from ..exceptions import ProtocolError
 from ..mobility.field import MobilityField
 from ..mobility.relay import MultiHopMedium
@@ -63,6 +64,12 @@ class ScenarioRunner:
         When true (the default), raise :class:`~repro.exceptions.ProtocolError`
         the moment any step leaves the members disagreeing on the key;
         when false, the disagreement is only recorded in the report.
+    engine:
+        Optional :class:`~repro.engine.executor.EngineConfig` driving every
+        protocol step through the virtual-time kernel with a latency model —
+        the per-event records then carry real ``sim_latency_s``/``timeouts``
+        columns.  ``None`` (the default) runs in instant mode, which is
+        bit-identical to the pre-kernel synchronous execution.
     """
 
     def __init__(
@@ -71,10 +78,12 @@ class ScenarioRunner:
         *,
         device: Optional[DeviceProfile] = None,
         check_agreement: bool = True,
+        engine: Optional[EngineConfig] = None,
     ) -> None:
         self.setup = setup
         self.device = device or DeviceProfile()
         self.check_agreement = check_agreement
+        self.engine = engine
 
     # --------------------------------------------------------------- medium
     def _build_medium(self, scenario: Scenario) -> Tuple[BroadcastMedium, Optional[MobilityField]]:
@@ -112,7 +121,12 @@ class ScenarioRunner:
         # ------------------------------------------------------ establishment
         members = scenario.initial_members()
         started = time.perf_counter()
-        result = protocol.run(members, medium=medium, seed=scenario.child_seed("protocol/establish"))
+        result = protocol.run(
+            members,
+            medium=medium,
+            seed=scenario.child_seed("protocol/establish"),
+            engine=self.engine,
+        )
         wall = time.perf_counter() - started
         state = result.state
         records.append(
@@ -141,6 +155,7 @@ class ScenarioRunner:
                 scheduled.event,
                 medium=medium,
                 seed=scenario.child_seed(f"protocol/event/{position:04d}"),
+                engine=self.engine,
             )
             wall = time.perf_counter() - started
             state = result.state
@@ -240,6 +255,8 @@ class ScenarioRunner:
             relay_bits=relay_bits,
             relay_energy_j=self.device.transceiver.tx_energy_mj(relay_bits) / 1000.0,
             mean_hops=mean_hops,
+            sim_latency_s=result.sim_latency_s,
+            timeouts=result.timeouts,
         )
 
     def _check(self, record: EventRecord, protocol_name: str, scenario: Scenario) -> None:
