@@ -13,6 +13,11 @@ The package implements, from scratch:
 * a mobility-aware MANET layer (:mod:`repro.mobility`): 2-D mobility models,
   distance-dependent radio links, multi-hop relaying with per-hop energy
   charging, and connectivity-driven emergent partition/merge churn,
+* an adversary subsystem (:mod:`repro.adversary`): eavesdropper / injector /
+  replayer / man-in-the-middle / key-compromise attacker models co-scheduled
+  with the protocol machines, security-property oracles (key consistency,
+  forward/backward secrecy, implicit key authentication, attack detection)
+  evaluated per scenario step, and a protocol × attacker survival matrix,
 * the paper's energy model (StrongARM SA-1110 + 100 kbps radio / Spectrum24
   WLAN) and the closed-form analysis that regenerates Tables 1-5 and Figure 1.
 
@@ -79,12 +84,23 @@ from .exceptions import (
     SignatureError,
     VerificationError,
 )
+from .adversary import (
+    AdversaryConfig,
+    AdversarySuite,
+    SecurityReport,
+    run_attack_matrix,
+)
 from .pki import Identity, IdentityRegistry, PrivateKeyGenerator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # adversary
+    "AdversaryConfig",
+    "AdversarySuite",
+    "SecurityReport",
+    "run_attack_matrix",
     # core
     "GroupSession",
     "GroupState",

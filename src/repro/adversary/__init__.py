@@ -1,0 +1,98 @@
+"""``repro.adversary`` — active attackers and security-property oracles.
+
+The paper's pitch is *authenticated* group keys at MANET-friendly energy;
+the rest of the library measures the energy, this subsystem checks the
+authentication.  It has three layers:
+
+* :mod:`repro.adversary.actors` — attacker actors co-scheduled with the
+  party machines on the event kernel: a passive :class:`Eavesdropper`, and
+  active :class:`Injector` / :class:`Replayer` / :class:`ManInTheMiddle`
+  (modify, drop or delay in flight) / :class:`Compromiser` (long-term key
+  theft) models, bundled into an :class:`AdversarySuite` the executor
+  consults on every transmission;
+* :mod:`repro.adversary.oracles` — per-step security verdicts
+  (:class:`KeyConsistency`, :class:`ForwardSecrecy`,
+  :class:`BackwardSecrecy`, :class:`ImplicitKeyAuthentication`,
+  :class:`AttackDetected`) the scenario runner records next to the energy
+  numbers;
+* :mod:`repro.adversary.matrix` — :func:`run_attack_matrix`, the
+  protocol × attacker survival matrix distilled into a
+  :class:`SecurityReport`.
+
+Quickstart::
+
+    from repro import SystemSetup
+    from repro.adversary import AdversaryConfig, run_attack_matrix
+    from repro.sim import PoissonChurn, Scenario, ScenarioRunner
+
+    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+    scenario = Scenario(
+        name="under-attack", initial_size=6,
+        schedule=PoissonChurn(length=4), seed=7,
+        adversary=AdversaryConfig.preset("inject"),
+    )
+    report = ScenarioRunner(setup).run("bd", scenario)
+    print(report.security_verdict)        # 'broken' — plain BD falls
+    print(run_attack_matrix(setup).matrix_table())
+"""
+
+from .actors import (
+    AdversarySuite,
+    AttackStats,
+    AttackerActor,
+    Compromiser,
+    Eavesdropper,
+    Injector,
+    Interception,
+    ManInTheMiddle,
+    Replayer,
+)
+from .config import ATTACKER_PRESETS, AdversaryConfig
+from .matrix import (
+    AttackOutcome,
+    SecurityReport,
+    classify_report,
+    default_attackers,
+    run_attack_matrix,
+)
+from .oracles import (
+    ORACLE_NAMES,
+    AttackDetected,
+    BackwardSecrecy,
+    ForwardSecrecy,
+    ImplicitKeyAuthentication,
+    KeyConsistency,
+    OracleContext,
+    SecurityOracle,
+    default_oracles,
+    evaluate_oracles,
+)
+
+__all__ = [
+    "ATTACKER_PRESETS",
+    "ORACLE_NAMES",
+    "AdversaryConfig",
+    "AdversarySuite",
+    "AttackDetected",
+    "AttackOutcome",
+    "AttackStats",
+    "AttackerActor",
+    "BackwardSecrecy",
+    "Compromiser",
+    "Eavesdropper",
+    "ForwardSecrecy",
+    "ImplicitKeyAuthentication",
+    "Injector",
+    "Interception",
+    "KeyConsistency",
+    "ManInTheMiddle",
+    "OracleContext",
+    "Replayer",
+    "SecurityOracle",
+    "SecurityReport",
+    "classify_report",
+    "default_attackers",
+    "default_oracles",
+    "evaluate_oracles",
+    "run_attack_matrix",
+]

@@ -1,0 +1,190 @@
+"""Security-property oracles evaluated after every scenario step.
+
+The energy tables say what a protocol *costs*; these oracles say what it
+*buys*.  After each step of a scenario the runner assembles an
+:class:`OracleContext` — the post-step group state, the chain of keys agreed
+so far, the keys known to members who have departed, and the adversary's
+doings — and every oracle returns a verdict:
+
+``True``
+    the property held on this step;
+``False``
+    the property was violated — the headline result when it happens
+    silently (unauthenticated BD under active injection);
+``None``
+    not applicable (e.g. forward secrecy before anyone has left).
+
+The library set:
+
+* :class:`KeyConsistency` — every member holds the same non-null key.
+* :class:`ForwardSecrecy` — once members have departed, no later key may
+  equal any key those members ever held (checked over the whole
+  leave/join/rekey chain, not just the departure step).
+* :class:`BackwardSecrecy` — a step that admits members must produce a key
+  different from every previously used key, so joiners cannot read old
+  traffic.
+* :class:`ImplicitKeyAuthentication` — the adversary (eavesdropper included,
+  stolen long-term keys included) cannot produce the agreed key.
+* :class:`AttackDetected` — when the adversary tampered with this step, the
+  protocol must have either aborted (detection) or still reached a
+  consistent key (resistance); completing *wrong* without noticing is the
+  failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "ORACLE_NAMES",
+    "OracleContext",
+    "SecurityOracle",
+    "KeyConsistency",
+    "ForwardSecrecy",
+    "BackwardSecrecy",
+    "ImplicitKeyAuthentication",
+    "AttackDetected",
+    "default_oracles",
+    "evaluate_oracles",
+]
+
+
+@dataclass(frozen=True)
+class OracleContext:
+    """Everything the oracles may look at after one scenario step."""
+
+    #: event kind (``establish``/``join``/``leave``/``merge``/``partition``)
+    kind: str
+    #: step index (0 = establishment)
+    index: int
+    #: post-step group state (the *pre*-step state after an abort), or None
+    state: Optional[object]
+    #: every member holds the same non-null key
+    agreed: bool
+    #: the agreed key (None on disagreement or abort)
+    key: Optional[int]
+    #: keys agreed on *previous* steps, oldest first
+    previous_keys: Tuple[int, ...] = ()
+    #: keys known to members who have departed at any point so far
+    departed_keys: FrozenSet[int] = frozenset()
+    #: this step admitted members (join/merge)
+    added_members: bool = False
+    #: this step removed members (leave/partition)
+    removed_members: bool = False
+    #: the adversary suite, when one is configured
+    adversary: Optional[object] = None
+    #: message-level attack actions during this step
+    attacks: int = 0
+    #: the protocol aborted this step with an error
+    aborted: bool = False
+    #: the abort reason, when aborted
+    error: str = ""
+
+
+class SecurityOracle:
+    """One mechanically checkable security property."""
+
+    name = ""
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        """Verdict for one step (``None`` when the property does not apply)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return self.name
+
+
+class KeyConsistency(SecurityOracle):
+    """All members agree on one non-null group key after the step."""
+
+    name = "key-consistency"
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        if ctx.aborted:
+            # The step never completed; the detection story belongs to
+            # AttackDetected, not to a consistency verdict over missing keys.
+            return None
+        return ctx.agreed
+
+
+class ForwardSecrecy(SecurityOracle):
+    """Departed members must never learn a later key.
+
+    Mechanised as key freshness over the whole chain: every key agreed after
+    any departure must differ from every key the departed members held while
+    they were inside.  (The stronger computational claim — that the departed
+    state cannot *derive* the new key — is exercised separately by the
+    property-based tests on the Leave/Partition algebra.)
+    """
+
+    name = "forward-secrecy"
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        if ctx.aborted or not ctx.departed_keys or ctx.key is None:
+            return None
+        return ctx.key not in ctx.departed_keys
+
+
+class BackwardSecrecy(SecurityOracle):
+    """Newly admitted members must not be able to read earlier traffic."""
+
+    name = "backward-secrecy"
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        if ctx.aborted or not ctx.added_members or ctx.key is None:
+            return None
+        return ctx.key not in ctx.previous_keys
+
+
+class ImplicitKeyAuthentication(SecurityOracle):
+    """Nobody outside the group — the adversary included — holds the key."""
+
+    name = "implicit-key-auth"
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        if ctx.aborted or ctx.adversary is None or ctx.key is None:
+            return None
+        return not ctx.adversary.knows_key(ctx.key)
+
+
+class AttackDetected(SecurityOracle):
+    """Tampering must be detected (abort) or survived (consistent key).
+
+    ``False`` is the silent break: the adversary tampered, the protocol ran
+    to completion, and the members walked away with inconsistent keys and no
+    idea anything happened.
+    """
+
+    name = "attack-detected"
+
+    def evaluate(self, ctx: OracleContext) -> Optional[bool]:
+        if ctx.attacks <= 0:
+            return None
+        if ctx.aborted:
+            return True
+        return ctx.agreed
+
+
+#: The library oracle set, in evaluation (and report-column) order.
+_DEFAULT = (
+    KeyConsistency(),
+    ForwardSecrecy(),
+    BackwardSecrecy(),
+    ImplicitKeyAuthentication(),
+    AttackDetected(),
+)
+
+#: Canonical oracle names, in report-column order.
+ORACLE_NAMES = tuple(oracle.name for oracle in _DEFAULT)
+
+
+def default_oracles() -> Tuple[SecurityOracle, ...]:
+    """The library's oracle set (a fresh tuple; oracles are stateless)."""
+    return _DEFAULT
+
+
+def evaluate_oracles(ctx: OracleContext) -> Dict[str, Optional[bool]]:
+    """All default oracles over one context, keyed by oracle name."""
+    return {oracle.name: oracle.evaluate(ctx) for oracle in _DEFAULT}

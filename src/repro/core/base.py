@@ -351,7 +351,11 @@ class Protocol(abc.ABC):
         :class:`~repro.engine.machine.MachinePlan` and steps the event kernel
         to quiescence.  ``engine=None`` (the default) runs in instant mode —
         same transcripts, keys and energy ledgers as the pre-kernel
-        synchronous implementation.
+        synchronous implementation.  An :class:`~repro.engine.executor.
+        EngineConfig` carrying an adversary suite puts the run under attack:
+        the executor consults the attackers on every transmission, so a
+        tampered run ends in a verification error (detection) or in whatever
+        inconsistent state the protocol failed to notice.
         """
         medium = medium if medium is not None else BroadcastMedium()
         plan = self.build_machines(members, medium=medium, seed=seed, **kwargs)

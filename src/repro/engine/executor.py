@@ -20,14 +20,21 @@ and the :class:`~repro.engine.kernel.EventKernel`:
   *timeout wave*: virtual time jumps by ``round_timeout_s`` and every party
   re-broadcasts its contribution to the stalled rounds — the paper's "all
   members retransmit" recovery, now visible as latency instead of hidden
-  inside the medium.
+  inside the medium;
+* with an :class:`~repro.adversary.actors.AdversarySuite` on the
+  :class:`EngineConfig` the executor puts every transmission in front of the
+  attackers: the physical send (and its energy charges) always happens, but
+  what receivers *decode* may be dropped, substituted or delayed, and
+  attacker forgeries are scheduled as deliveries that sort ahead of the
+  same-instant honest copies (the attacker wins the first-copy race).  A
+  suite whose actors are all passive leaves the run bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ParameterError, ProtocolError
 from ..network.medium import BroadcastMedium
@@ -35,6 +42,9 @@ from ..network.message import Message
 from .kernel import EventKernel
 from .latency import LatencyModel
 from .machine import MachinePlan, Outbound, PartyMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..adversary.actors import AdversarySuite
 
 __all__ = ["EngineConfig", "EngineStats", "MachineExecutor", "drive_plan", "run_machines"]
 
@@ -56,6 +66,9 @@ class EngineConfig:
     max_timeout_waves: int = 25
     #: queue same-instant transmissions behind each other on the shared channel
     serialize_channel: bool = True
+    #: attacker suite consulted on every transmission (None = honest runs;
+    #: a suite whose actors are all passive leaves runs bit-identical)
+    adversary: Optional["AdversarySuite"] = None
 
     def __post_init__(self) -> None:
         if self.round_timeout_s <= 0:
@@ -66,8 +79,12 @@ class EngineConfig:
     def describe(self) -> str:
         """One-line summary used in reports."""
         if self.latency is None:
-            return "instant"
-        return f"{self.latency.describe()}, timeout={self.round_timeout_s:g}s"
+            summary = "instant"
+        else:
+            summary = f"{self.latency.describe()}, timeout={self.round_timeout_s:g}s"
+        if self.adversary is not None:
+            summary += f", adversary[{self.adversary.describe()}]"
+        return summary
 
 
 @dataclass
@@ -101,6 +118,11 @@ class MachineExecutor:
         self.medium = medium
         self.config = config or EngineConfig()
         self.latency = self.config.latency
+        self.adversary = self.config.adversary
+        if self.adversary is not None:
+            # The eavesdropping tap rides the medium so the adversary hears
+            # every physical send (idempotent across the scenario's runs).
+            self.adversary.attach(medium)
         self.kernel = EventKernel()
         self.stats = EngineStats()
         self._order: Dict[int, int] = {id(m): i for i, m in enumerate(self.machines)}
@@ -202,6 +224,19 @@ class MachineExecutor:
             self._busy_until = tx_start + tx_time
             channel_wait = tx_start - now
         self.stats.messages_sent += 1
+        # The physical send (and its energy charges) already happened; an
+        # active adversary now gets to decide what the receivers *decode*:
+        # nothing (jamming), a substituted payload, or the truth but late.
+        decoded = message
+        suppress = False
+        attack_delay = 0.0
+        if self.adversary is not None:
+            interception = self.adversary.intercept(message, now)
+            if interception is not None:
+                suppress = interception.drop
+                attack_delay = interception.delay_s
+                if interception.replacement is not None:
+                    decoded = interception.replacement
         field_ = getattr(self.medium, "field", None)
         for identity in receipt.delivered_to:
             receiver = self._by_name.get(identity.name)
@@ -218,6 +253,8 @@ class MachineExecutor:
                     inbox.remove(message)
                 except ValueError:
                     pass
+            if suppress:
+                continue
             delay = 0.0
             if self.latency is not None:
                 hops = receipt.hop_by_receiver.get(identity.name, receipt.hops)
@@ -228,9 +265,33 @@ class MachineExecutor:
                     message.wire_bits, hops, distance
                 )
             self.kernel.schedule(
-                partial(self._deliver, receiver, message),
-                delay=delay,
+                partial(self._deliver, receiver, decoded),
+                delay=delay + attack_delay,
                 rank=EventKernel.RANK_DELIVERY,
+            )
+        if self.adversary is not None:
+            for forged in self.adversary.drain_injections(now):
+                self._inject(forged)
+
+    def _inject(self, forged: Message) -> None:
+        """Deliver an attacker-transmitted forgery, racing legitimate copies.
+
+        The forgery rides the attacker's own transmitter (its TX cost was
+        charged to the attacker's node when it was queued), so no legitimate
+        ledger pays for the send — but every addressed machine physically
+        receives a copy and is charged that reception.  ``order=-1`` makes
+        the forged delivery sort ahead of same-instant legitimate deliveries,
+        so the executor's duplicate filter then discards the honest original:
+        first copy wins, and the attacker made sure of being first.
+        """
+        for receiver in self.machines:
+            if not forged.addressed_to(receiver.identity):
+                continue
+            receiver.node.recorder.record_rx(forged.wire_bits)
+            self.kernel.schedule(
+                partial(self._deliver, receiver, forged),
+                rank=EventKernel.RANK_DELIVERY,
+                order=-1,
             )
 
     def _deliver(self, machine: PartyMachine, message: Message) -> None:

@@ -137,9 +137,7 @@ class MultiHopMedium(BroadcastMedium):
                 message=message, attempts=1, delivered_to=[], hops=1,
                 transmissions=1, relay_bits=0,
             )
-            self.transcript.append(message)
-            self.receipts.append(receipt)
-            return receipt
+            return self._finalize(message, receipt)
         while True:
             waves += 1
             # Wave 1 floods out from the origin; retry waves re-flood from
@@ -192,9 +190,7 @@ class MultiHopMedium(BroadcastMedium):
             transmissions=transmissions,
             relay_bits=relay_bits,
         )
-        self.transcript.append(message)
-        self.receipts.append(receipt)
-        return receipt
+        return self._finalize(message, receipt)
 
     def transmit(self, message: Message) -> DeliveryReceipt:
         """One *single* flood wave (engine latency mode): no retry waves.
@@ -263,6 +259,4 @@ class MultiHopMedium(BroadcastMedium):
             relay_bits=relay_bits,
             hop_by_receiver=hop_of,
         )
-        self.transcript.append(message)
-        self.receipts.append(receipt)
-        return receipt
+        return self._finalize(message, receipt)

@@ -12,7 +12,7 @@ behaviour the paper appeals to when a verification fails.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import NetworkError
 from ..mathutils.rand import DeterministicRNG
@@ -131,6 +131,23 @@ class BroadcastMedium:
         self._nodes: Dict[str, Node] = {}
         self.transcript: List[Message] = []
         self.receipts: List[DeliveryReceipt] = []
+        #: read-only observers called after every physical send — the
+        #: adversary subsystem's eavesdropping hook.  Taps must not mutate
+        #: anything: they see the message and its receipt, nothing more, so
+        #: an attached tap can never perturb energy ledgers or loss draws.
+        self.taps: List[Callable[[Message, DeliveryReceipt], None]] = []
+
+    def add_tap(self, tap: Callable[[Message, DeliveryReceipt], None]) -> None:
+        """Attach a read-only observer of every send (see ``taps``)."""
+        self.taps.append(tap)
+
+    def _finalize(self, message: Message, receipt: DeliveryReceipt) -> DeliveryReceipt:
+        """Record a completed send and notify the taps."""
+        self.transcript.append(message)
+        self.receipts.append(receipt)
+        for tap in self.taps:
+            tap(message, receipt)
+        return receipt
 
     # ----------------------------------------------------------- membership
     def attach(self, node: Node) -> Node:
@@ -212,9 +229,7 @@ class BroadcastMedium:
             transmissions=attempts,
             relay_bits=0,
         )
-        self.transcript.append(message)
-        self.receipts.append(receipt)
-        return receipt
+        return self._finalize(message, receipt)
 
     def transmit(self, message: Message) -> DeliveryReceipt:
         """One *single* physical broadcast attempt (no retries, no raising).
@@ -259,9 +274,7 @@ class BroadcastMedium:
             transmissions=1,
             relay_bits=0,
         )
-        self.transcript.append(message)
-        self.receipts.append(receipt)
-        return receipt
+        return self._finalize(message, receipt)
 
     def broadcast_all(self, messages: List[Message]) -> List[DeliveryReceipt]:
         """Send a batch of messages (one protocol round) in order."""

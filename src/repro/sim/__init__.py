@@ -21,6 +21,17 @@ network layer simulates node positions, distance-dependent radio links and
 multi-hop relaying, with partition/merge churn emitted by a connectivity
 monitor as the topology changes (see :mod:`repro.mobility`).
 
+Scenarios can run *under attack*: embed an
+:class:`~repro.adversary.config.AdversaryConfig` and the runner fields the
+configured attacker suite against every protocol step, evaluating the
+security oracles (:mod:`repro.adversary.oracles`) after each one — records,
+reports and comparison exports then carry ``attacks``/``detected`` counts and
+per-oracle verdicts next to the energy numbers.
+
+The module is also runnable: ``python -m repro.sim spec.json`` executes a
+JSON scenario spec (optionally with ``--adversary``/``--engine`` profiles)
+and emits the comparison table/CSV/JSON without writing a script.
+
 Quickstart::
 
     from repro import SystemSetup
@@ -38,6 +49,7 @@ Quickstart::
     print(comparison_table(reports))
 """
 
+from ..adversary.config import AdversaryConfig
 from .report import (
     EventRecord,
     KindSummary,
@@ -58,6 +70,7 @@ from .scenarios import (
 )
 
 __all__ = [
+    "AdversaryConfig",
     "BurstPartitions",
     "ChurnSchedule",
     "EventRecord",

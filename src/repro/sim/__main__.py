@@ -1,0 +1,236 @@
+"""``python -m repro.sim`` — run a scenario spec without writing a script.
+
+The spec is a JSON object describing one :class:`~repro.sim.scenarios.Scenario`::
+
+    {
+      "name": "burst-demo",
+      "initial_size": 10,
+      "seed": 7,
+      "loss_probability": 0.05,
+      "schedule": {"kind": "poisson", "length": 12, "join_rate": 2.0,
+                   "leave_rate": 2.0},
+      "adversary": {"injector": true}
+    }
+
+``schedule.kind`` is one of ``poisson`` / ``bursts`` / ``merges`` (remaining
+keys are passed to the matching schedule class), or the key may be omitted
+for a churn-free scenario.  A ``mobility`` object replaces ``schedule`` for
+mobility-driven runs::
+
+    "mobility": {"model": "random-waypoint", "min_speed": 2.0,
+                 "max_speed": 10.0, "area": [500, 500], "tx_range": 150,
+                 "duration": 60, "tick": 2.0, "edge_loss": 0.1}
+
+``adversary`` is either an object of
+:class:`~repro.adversary.config.AdversaryConfig` fields or (via the
+``--adversary`` flag, which overrides the spec) a preset name:
+``eavesdrop``, ``inject``, ``replay``, ``mitm``, ``drop``, ``delay``,
+``compromise``.
+
+Examples::
+
+    python -m repro.sim spec.json
+    python -m repro.sim spec.json --protocols proposed-gka,bd,ssn \\
+        --adversary mitm --engine radio --csv out.csv --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from ..adversary.config import ATTACKER_PRESETS, AdversaryConfig
+from ..core.base import SystemSetup
+from ..core.registry import available_protocols
+from ..energy.transceiver import RADIO_100KBPS, WLAN_SPECTRUM24
+from ..engine.executor import EngineConfig
+from ..engine.latency import FixedLatency, TransceiverLatency
+from ..exceptions import ParameterError, ReproError
+from ..mobility.config import MobilityConfig
+from ..mobility.field import Area
+from ..mobility.models import RandomWaypoint, ReferencePointGroup, StaticGrid
+from .report import comparison_csv, comparison_json, comparison_table
+from .runner import ScenarioRunner
+from .scenarios import (
+    BurstPartitions,
+    ChurnSchedule,
+    PeriodicMerges,
+    PoissonChurn,
+    Scenario,
+)
+
+_SCHEDULES = {
+    "poisson": PoissonChurn,
+    "bursts": BurstPartitions,
+    "merges": PeriodicMerges,
+}
+
+_MOBILITY_MODELS = {
+    "static-grid": StaticGrid,
+    "random-waypoint": RandomWaypoint,
+    "rpgm": ReferencePointGroup,
+}
+
+
+def _build_schedule(spec: Optional[dict]) -> Optional[ChurnSchedule]:
+    if spec is None:
+        return None
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    if kind not in _SCHEDULES:
+        raise ParameterError(
+            f"schedule.kind must be one of {sorted(_SCHEDULES)}, got {kind!r}"
+        )
+    return _SCHEDULES[kind](**spec)
+
+
+def _build_mobility(spec: Optional[dict]) -> Optional[MobilityConfig]:
+    if spec is None:
+        return None
+    spec = dict(spec)
+    model_name = spec.pop("model", "random-waypoint")
+    if model_name not in _MOBILITY_MODELS:
+        raise ParameterError(
+            f"mobility.model must be one of {sorted(_MOBILITY_MODELS)}, got {model_name!r}"
+        )
+    model_cls = _MOBILITY_MODELS[model_name]
+    model_fields = {
+        name: spec.pop(name)
+        for name in list(spec)
+        if name in getattr(model_cls, "__dataclass_fields__", {})
+    }
+    area = spec.pop("area", [500.0, 500.0])
+    return MobilityConfig(
+        model=model_cls(**model_fields),
+        area=Area(float(area[0]), float(area[1])),
+        **spec,
+    )
+
+
+def _build_adversary(spec: object) -> Optional[AdversaryConfig]:
+    if spec is None:
+        return None
+    if isinstance(spec, AdversaryConfig):
+        return spec
+    if isinstance(spec, str):
+        text = spec.strip()
+        if text.startswith("{"):
+            return AdversaryConfig(**json.loads(text))
+        return AdversaryConfig.preset(text)
+    if isinstance(spec, dict):
+        return AdversaryConfig(**spec)
+    raise ParameterError(f"cannot build an adversary from {spec!r}")
+
+
+def _build_engine(text: Optional[str]) -> Optional[EngineConfig]:
+    if text is None or text == "instant":
+        return None
+    if text == "radio":
+        return EngineConfig(latency=TransceiverLatency(RADIO_100KBPS))
+    if text == "wlan":
+        return EngineConfig(latency=TransceiverLatency(WLAN_SPECTRUM24))
+    if text.startswith("fixed:"):
+        return EngineConfig(latency=FixedLatency(float(text.split(":", 1)[1])))
+    raise ParameterError(
+        f"unknown engine profile {text!r}; use instant, radio, wlan or fixed:<seconds>"
+    )
+
+
+def build_scenario(spec: dict, *, adversary_override: Optional[str] = None) -> Scenario:
+    """Turn a parsed JSON spec into a :class:`Scenario`."""
+    spec = dict(spec)
+    adversary_spec = spec.pop("adversary", None)
+    if adversary_override is not None:
+        adversary_spec = adversary_override
+    return Scenario(
+        name=spec.pop("name", "cli-scenario"),
+        initial_size=int(spec.pop("initial_size", 8)),
+        schedule=_build_schedule(spec.pop("schedule", None)),
+        mobility=_build_mobility(spec.pop("mobility", None)),
+        adversary=_build_adversary(adversary_spec),
+        **spec,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Run a JSON scenario spec under one or more protocols "
+        "and emit the cross-protocol comparison.",
+    )
+    parser.add_argument("spec", help="path to the scenario spec JSON ('-' for stdin)")
+    parser.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated registry names (default: every registered protocol)",
+    )
+    parser.add_argument(
+        "--adversary",
+        default=None,
+        help=f"attacker preset ({', '.join(ATTACKER_PRESETS)}) or inline JSON; "
+        "overrides the spec's own adversary",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="execution profile: instant (default), radio, wlan, or fixed:<seconds>",
+    )
+    parser.add_argument(
+        "--params",
+        default="test",
+        choices=("test", "paper"),
+        help="parameter sizes: fast 256-bit test sets (default) or the paper's 1024-bit",
+    )
+    parser.add_argument("--csv", default=None, help="write the comparison CSV here")
+    parser.add_argument("--json", default=None, help="write the comparison JSON here")
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the comparison table on stdout"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.spec == "-":
+            spec = json.load(sys.stdin)
+        else:
+            with open(args.spec, encoding="utf-8") as handle:
+                spec = json.load(handle)
+        scenario = build_scenario(spec, adversary_override=args.adversary)
+        engine = _build_engine(args.engine)
+    except (ReproError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+        # TypeError/ValueError cover mistyped spec keys reaching a dataclass
+        # constructor — a one-character typo should print, not traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.params == "paper":
+            setup = SystemSetup.from_param_sets()
+        else:
+            setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+        protocols = (
+            [name.strip() for name in args.protocols.split(",") if name.strip()]
+            if args.protocols
+            else available_protocols()
+        )
+        runner = ScenarioRunner(setup, engine=engine, check_agreement=False)
+        reports = [runner.run(name, scenario) for name in protocols]
+    except ReproError as exc:
+        # Once the spec has parsed, only library failures are expected —
+        # anything else is a bug and should traceback, not masquerade as a
+        # spec error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.csv:
+        comparison_csv(reports, args.csv)
+    if args.json:
+        comparison_json(reports, args.json)
+    if not args.quiet:
+        print(comparison_table(reports))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

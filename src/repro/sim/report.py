@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..adversary.oracles import ORACLE_NAMES
 from ..exceptions import ParameterError
 
 __all__ = [
@@ -35,6 +36,18 @@ __all__ = [
     "comparison_csv",
     "comparison_json",
 ]
+
+
+def _oracle_cell(verdict: Optional[bool]) -> str:
+    """Render one oracle verdict for CSV/tables (empty = not applicable)."""
+    if verdict is None:
+        return ""
+    return "pass" if verdict else "FAIL"
+
+
+def _oracle_column(name: str) -> str:
+    """CSV column name for one oracle (``key-consistency`` -> ``oracle_key_consistency``)."""
+    return "oracle_" + name.replace("-", "_")
 
 
 @dataclass(frozen=True)
@@ -56,6 +69,16 @@ class EventRecord:
     ``wall_seconds``, the host CPU time the execution cost.  ``timeouts``
     counts the round timeouts fired while losses were recovered.  Both are
     zero under the instant (synchronous-equivalent) driver.
+
+    ``attacks`` counts the adversary's active actions during the step
+    (injections, replays, modifications, drops, delays, key compromises);
+    ``detected`` is set when the protocol aborted the step — the only way a
+    protocol under attack is allowed to not finish.  ``aborted``/
+    ``abort_reason`` carry the failure; on an aborted step the traffic and
+    energy columns describe what was spent *before* the abort and the state
+    columns describe the surviving pre-step group.  ``oracles`` maps each
+    security oracle to its verdict (``True`` held, ``False`` violated,
+    ``None`` not applicable this step).
     """
 
     index: int
@@ -75,6 +98,11 @@ class EventRecord:
     mean_hops: float = 1.0
     sim_latency_s: float = 0.0
     timeouts: int = 0
+    attacks: int = 0
+    detected: bool = False
+    aborted: bool = False
+    abort_reason: str = ""
+    oracles: Mapping[str, Optional[bool]] = field(default_factory=dict)
 
     @property
     def total_energy_j(self) -> float:
@@ -110,6 +138,8 @@ class ScenarioReport:
     records: List[EventRecord]
     final_size: int
     device: str = ""
+    #: one-line description of the attacker suite ("" = honest runs)
+    adversary: str = ""
 
     # ----------------------------------------------------------- aggregates
     @property
@@ -175,6 +205,62 @@ class ScenarioReport:
         """Whether every member agreed on the key after every single step."""
         return all(r.agreed for r in self.records)
 
+    # ------------------------------------------------------------- security
+    @property
+    def total_attacks(self) -> int:
+        """Active adversary actions over the whole scenario."""
+        return sum(r.attacks for r in self.records)
+
+    @property
+    def attacks_detected(self) -> bool:
+        """Whether the protocol aborted at least one attacked step."""
+        return any(r.detected for r in self.records)
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the scenario ended early on a protocol abort."""
+        return any(r.aborted for r in self.records)
+
+    def oracle_outcomes(self) -> Dict[str, Optional[bool]]:
+        """Aggregate per-oracle verdicts over every step.
+
+        ``False`` if the oracle ever failed, ``True`` if it held on every
+        step it applied to, ``None`` if it never applied.
+        """
+        outcomes: Dict[str, Optional[bool]] = {}
+        for name in ORACLE_NAMES:
+            verdicts = [
+                r.oracles[name] for r in self.records if r.oracles.get(name) is not None
+            ]
+            if not verdicts:
+                outcomes[name] = None
+            else:
+                outcomes[name] = all(verdicts)
+        return outcomes
+
+    @property
+    def security_verdict(self) -> str:
+        """How the protocol fared against this scenario's adversary.
+
+        ``leaked`` (the adversary can produce a group key), ``broken``
+        (inconsistent keys, undetected), ``detected`` (attack caught via
+        abort), ``resisted`` (attacks absorbed, keys consistent) or
+        ``clean`` (nothing attacked anything).
+        """
+        outcomes = self.oracle_outcomes()
+        if outcomes.get("implicit-key-auth") is False:
+            return "leaked"
+        if any(
+            r.oracles.get("key-consistency") is False and not r.detected
+            for r in self.records
+        ):
+            return "broken"
+        if self.attacks_detected:
+            return "detected"
+        if self.total_attacks:
+            return "resisted"
+        return "clean"
+
     def by_kind(self) -> Dict[str, KindSummary]:
         """Per-event-kind aggregates (establish, join, leave, merge, partition)."""
         summaries: Dict[str, KindSummary] = {}
@@ -223,6 +309,15 @@ class ScenarioReport:
                 f"virtual  : {self.total_sim_latency_s:.3f} s of simulated medium time, "
                 f"{self.total_timeouts} round timeouts"
             )
+        if self.adversary or self.total_attacks:
+            oracle_text = ", ".join(
+                f"{name}={_oracle_cell(verdict) or 'n/a'}"
+                for name, verdict in self.oracle_outcomes().items()
+            )
+            lines.append(
+                f"security : {self.security_verdict} under [{self.adversary or 'no adversary'}] "
+                f"({self.total_attacks} attack actions); {oracle_text}"
+            )
         lines.append("per-kind :")
         for kind, agg in self.by_kind().items():
             lines.append(
@@ -250,17 +345,29 @@ class ScenarioReport:
         "timeouts",
         "wall_seconds",
         "agreed",
+        "attacks",
+        "detected",
+        "aborted",
         "total_energy_j",
     )
 
+    #: Per-oracle verdict columns appended after the scalar fields.
+    _ORACLE_FIELDS = tuple(_oracle_column(name) for name in ORACLE_NAMES)
+
     def _record_row(self, record: EventRecord) -> Dict[str, object]:
         row = {name: getattr(record, name) for name in self._RECORD_FIELDS}
+        for name in ORACLE_NAMES:
+            row[_oracle_column(name)] = _oracle_cell(record.oracles.get(name))
         return row
 
     def to_csv(self, path: Optional[str] = None) -> str:
         """Per-event records as CSV (written to ``path`` when given)."""
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(self._RECORD_FIELDS), lineterminator="\n")
+        writer = csv.DictWriter(
+            buffer,
+            fieldnames=list(self._RECORD_FIELDS) + list(self._ORACLE_FIELDS),
+            lineterminator="\n",
+        )
         writer.writeheader()
         for record in self.records:
             writer.writerow(self._record_row(record))
@@ -278,6 +385,7 @@ class ScenarioReport:
             "description": self.scenario_description,
             "protocol": self.protocol,
             "device": self.device,
+            "adversary": self.adversary,
             "final_size": self.final_size,
             "totals": {
                 "energy_j": self.total_energy_j,
@@ -292,9 +400,18 @@ class ScenarioReport:
                 "timeouts": self.total_timeouts,
                 "wall_seconds": self.total_wall_seconds,
                 "agreed_throughout": self.agreed_throughout,
+                "attacks": self.total_attacks,
+                "detected": self.attacks_detected,
+                "security_verdict": self.security_verdict,
             },
+            "oracles": self.oracle_outcomes(),
             "records": [
-                {**self._record_row(record), "energy_j": dict(record.energy_j)}
+                {
+                    **self._record_row(record),
+                    "abort_reason": record.abort_reason,
+                    "oracles": dict(record.oracles),
+                    "energy_j": dict(record.energy_j),
+                }
                 for record in self.records
             ],
             "per_member_energy_j": self.per_member_energy_j(),
@@ -332,11 +449,14 @@ _COMPARISON_FIELDS = (
     "timeouts",
     "wall_seconds",
     "agreed",
-)
+    "attacks",
+    "detected",
+    "security_verdict",
+) + tuple(_oracle_column(name) for name in ORACLE_NAMES)
 
 
 def _comparison_row(report: ScenarioReport) -> Dict[str, object]:
-    return {
+    row = {
         "protocol": report.protocol,
         "energy_j": report.total_energy_j,
         "messages": report.total_messages,
@@ -350,7 +470,13 @@ def _comparison_row(report: ScenarioReport) -> Dict[str, object]:
         "timeouts": report.total_timeouts,
         "wall_seconds": report.total_wall_seconds,
         "agreed": report.agreed_throughout,
+        "attacks": report.total_attacks,
+        "detected": report.attacks_detected,
+        "security_verdict": report.security_verdict,
     }
+    for name, verdict in report.oracle_outcomes().items():
+        row[_oracle_column(name)] = _oracle_cell(verdict)
+    return row
 
 
 def comparison_table(reports: Sequence[ScenarioReport]) -> str:
@@ -358,6 +484,7 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
     _require_same_scenario(reports)
     relaying = any(report.total_relay_bits for report in reports)
     virtual_time = any(report.total_sim_latency_s for report in reports)
+    under_attack = any(report.adversary or report.total_attacks for report in reports)
     header = (
         f"{'protocol':<18} {'energy J':>12} {'messages':>9} {'bits':>12} "
         f"{'bits+retry':>12}"
@@ -367,6 +494,8 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
     if virtual_time:
         header += f" {'sim s':>9} {'t/o':>5}"
     header += f" {'wall s':>8} {'agreed':>7}"
+    if under_attack:
+        header += f" {'attacks':>8} {'verdict':>9}"
     lines = [f"scenario: {reports[0].scenario_description}", header, "-" * len(header)]
     for report in reports:
         line = (
@@ -383,6 +512,8 @@ def comparison_table(reports: Sequence[ScenarioReport]) -> str:
         line += (
             f" {report.total_wall_seconds:>8.3f} {'yes' if report.agreed_throughout else 'NO':>7}"
         )
+        if under_attack:
+            line += f" {report.total_attacks:>8} {report.security_verdict:>9}"
         lines.append(line)
     return "\n".join(lines)
 
