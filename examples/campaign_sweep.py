@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Campaign demo: a protocol × loss × group-size grid, sharded and cached.
+
+This replaces the hand-rolled serial loops the earlier sweep examples used:
+declare the axes once, let :func:`repro.campaign.run_campaign` expand them
+into seeded cells and shard the cells over worker processes, then slice the
+long-form rows with the pivot helpers.  Three properties make this the
+production path:
+
+* **speed** — cells run ``CAMPAIGN_WORKERS`` at a time (default: all cores);
+* **determinism** — each cell's seed derives from the master seed + cell key,
+  so the parallel rows are bit-identical to a serial run (asserted below);
+* **resumability** — with ``CAMPAIGN_CACHE`` set, re-running an edited spec
+  recomputes only the changed cells.
+
+Run with:  PYTHONPATH=src python examples/campaign_sweep.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign import CampaignSpec, run_campaign
+
+SPEC = CampaignSpec(
+    name="campaign-demo",
+    protocols=("proposed-gka", "bd-unauthenticated", "bd-ecdsa", "ssn"),
+    group_sizes=(8, 12),
+    losses=(0.0, 0.1, 0.2),
+    schedule={"kind": "poisson", "length": 8, "join_rate": 2.0, "leave_rate": 2.0},
+    adversaries={"none": None, "inject": "inject"},
+    seed="campaign-demo",
+)
+
+
+def main() -> None:
+    workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
+    cache_dir = os.environ.get("CAMPAIGN_CACHE")
+    out_dir = os.environ.get("CAMPAIGN_SWEEP_OUT", ".")
+
+    print(f"grid: {len(SPEC.cells())} cells, {workers} worker(s)")
+    result = run_campaign(SPEC, workers=workers, cache_dir=cache_dir)
+    print(result.summary())
+
+    print()
+    print(result.pivot_table("protocol", "loss", "energy_j"))
+    print()
+    print(result.pivot_table("protocol", "group_size", "messages"))
+
+    csv_path = os.path.join(out_dir, "campaign_demo.csv")
+    json_path = os.path.join(out_dir, "campaign_demo.json")
+    result.to_csv(csv_path)
+    result.to_json(json_path)
+    print()
+    print(f"exported: {csv_path}, {json_path}")
+
+    # The determinism contract, demonstrated: a serial re-run of the same
+    # spec produces bit-identical rows (host wall time aside).
+    serial = run_campaign(SPEC, workers=1, cache_dir=None)
+    assert serial.deterministic_rows() == result.deterministic_rows()
+    print(f"determinism: serial re-run bit-identical across {len(result.rows)} cells")
+
+    # Headline numbers straight off the grid: under injection the proposed
+    # protocol detects and aborts while unauthenticated BD silently breaks.
+    verdicts = {
+        (row["protocol"], row["adversary"]): row["security_verdict"]
+        for row in result.ok_rows()
+    }
+    assert verdicts[("proposed-gka", "inject")] == "detected"
+    assert verdicts[("bd-unauthenticated", "inject")] == "broken"
+    print("security : proposed-gka detects injection; bd-unauthenticated breaks")
+
+
+if __name__ == "__main__":
+    main()

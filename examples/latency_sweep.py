@@ -1,13 +1,14 @@
-"""Sweep link latency × loss across three protocols on the event kernel.
+"""Latency × loss as a campaign grid across three protocols on the kernel.
 
 The paper's energy tables say nothing about *how long* key agreement takes on
-a MANET radio; the reactive engine makes that observable.  This example runs
-the proposed ID-based GKA, plain BD and SSN through the same churn scenario
-at every (link latency, loss probability) grid point and prints the virtual
-completion time (``sim_latency_s``), the round timeouts fired while losses
-were recovered, and the group energy — showing how the proposed scheme's
-constant round count keeps its latency flat while re-running baselines pay
-rounds × delay on every membership event.
+a MANET radio; the reactive engine makes that observable.  This sweep is the
+campaign runner's natural shape: link latency is the ``engines`` axis
+(``fixed:<seconds>`` profiles), loss is the ``losses`` axis, and every
+(protocol, latency, loss) cell runs the same churn scenario on the
+virtual-time kernel — sharded over worker processes instead of the old
+triple-nested serial loop.  The pivot shows how the proposed scheme's
+constant round count keeps its completion time flat while re-running
+baselines pay rounds × delay on every membership event.
 
 Run with::
 
@@ -18,77 +19,56 @@ Set ``LATENCY_SWEEP_OUT=/some/dir`` to also write the grid as CSV.
 
 from __future__ import annotations
 
-import csv
 import os
-from typing import List
 
-from repro import EngineConfig, FixedLatency, SystemSetup
-from repro.sim import PoissonChurn, Scenario, ScenarioRunner
+from repro.campaign import CampaignSpec, run_campaign
 
-PROTOCOLS = ("proposed", "bd", "ssn")
+PROTOCOLS = ("proposed-gka", "bd-unauthenticated", "ssn")
 LATENCIES_S = (0.005, 0.02, 0.05)
 LOSSES = (0.0, 0.1, 0.2)
 
-
-def build_scenario(loss: float) -> Scenario:
-    return Scenario(
-        name=f"latency-sweep-loss{loss:g}",
-        initial_size=8,
-        schedule=PoissonChurn(length=6, join_rate=2.0, leave_rate=2.0),
-        loss_probability=loss,
-        seed="latency-sweep",
-    )
+SPEC = CampaignSpec(
+    name="latency-sweep",
+    protocols=PROTOCOLS,
+    group_sizes=(8,),
+    losses=LOSSES,
+    schedule={"kind": "poisson", "length": 6, "join_rate": 2.0, "leave_rate": 2.0},
+    engines=tuple(
+        {"latency": f"fixed:{delay:g}", "round_timeout_s": 1.0} for delay in LATENCIES_S
+    ),
+    seed="latency-sweep",
+)
 
 
 def main() -> None:
-    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
-    rows: List[dict] = []
-    header = (
-        f"{'latency s/hop':>13} {'loss':>5} {'protocol':<18} "
-        f"{'sim s':>8} {'timeouts':>8} {'energy J':>10} {'msgs':>6}"
-    )
-    print(header)
-    print("-" * len(header))
-    for loss in LOSSES:
-        scenario = build_scenario(loss)
-        for delay in LATENCIES_S:
-            runner = ScenarioRunner(
-                setup,
-                engine=EngineConfig(latency=FixedLatency(delay), round_timeout_s=1.0),
-            )
-            for protocol in PROTOCOLS:
-                report = runner.run(protocol, scenario)
-                rows.append(
-                    {
-                        "latency_s": delay,
-                        "loss": loss,
-                        "protocol": report.protocol,
-                        "sim_latency_s": report.total_sim_latency_s,
-                        "timeouts": report.total_timeouts,
-                        "energy_j": report.total_energy_j,
-                        "messages": report.total_messages,
-                    }
-                )
-                print(
-                    f"{delay:>13g} {loss:>5g} {report.protocol:<18} "
-                    f"{report.total_sim_latency_s:>8.3f} {report.total_timeouts:>8} "
-                    f"{report.total_energy_j:>10.4f} {report.total_messages:>6}"
-                )
+    workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
+    result = run_campaign(SPEC, workers=workers)
+    assert result.failures() == []
+    print(result.summary())
+    print()
+    print(result.pivot_table("protocol", "engine", "sim_latency_s", fmt="{:.3f}"))
+    print()
+    print(result.pivot_table("protocol", "loss", "timeouts", fmt="{:.1f}"))
+    print()
+    print(result.pivot_table("protocol", "loss", "energy_j"))
+
     out_dir = os.environ.get("LATENCY_SWEEP_OUT")
     if out_dir:
         path = os.path.join(out_dir, "latency_sweep.csv")
-        with open(path, "w", encoding="utf-8", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
-            writer.writeheader()
-            writer.writerows(rows)
+        result.to_csv(path)
         print(f"\nwrote {path}")
 
     # Headline: at the slowest lossy grid point the proposed protocol's
     # dedicated dynamic sub-protocols finish far sooner in virtual time than
     # the baselines' full re-executions.
-    worst = [r for r in rows if r["latency_s"] == max(LATENCIES_S) and r["loss"] == max(LOSSES)]
-    proposed = next(r for r in worst if r["protocol"] == "proposed-gka")
-    slowest = max(worst, key=lambda r: r["sim_latency_s"])
+    slowest_engine = SPEC.engine_label(SPEC.engines[-1])
+    worst = [
+        row
+        for row in result.rows
+        if row["engine"] == slowest_engine and row["loss"] == max(LOSSES)
+    ]
+    proposed = next(row for row in worst if row["protocol"] == "proposed-gka")
+    slowest = max(worst, key=lambda row: row["sim_latency_s"])
     print(
         f"\nAt {max(LATENCIES_S) * 1000:g} ms/hop and {max(LOSSES):.0%} loss: "
         f"proposed completes the scenario in {proposed['sim_latency_s']:.3f} virtual s "

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Mobility sweep: emergent churn and relay cost vs transmit range.
+"""Mobility sweep as a campaign: emergent churn and relay cost vs tx range.
 
 The paper's MANET story made physical: 20 nodes do a random-waypoint walk
 over a 500x500 m field.  Radio links derive from distance, broadcasts are
@@ -7,11 +7,13 @@ relayed hop by hop (each relay charged real transmit/receive energy), and
 partitions/merges are *emitted by the connectivity monitor* as the topology
 changes — no hand-written churn schedule anywhere in this file.
 
-The sweep varies the transmit range: short ranges mean deeper floods (more
-relay energy) and more frequent partitions; long ranges approach the
-single-hop degenerate case.  For each range the proposed protocol and two
-baselines run the identical emergent event stream, and the comparison is
-printed and exported to CSV/JSON.
+The sweep varies the transmit range as a named mobility axis: short ranges
+mean deeper floods (more relay energy) and more frequent partitions; long
+ranges approach the single-hop degenerate case.  The campaign runner shards
+the protocol × range grid over worker processes; for each range every
+protocol still runs the identical emergent event stream (same named seed per
+scenario), so the pivot below is the old side-by-side comparison at pool
+speed.
 
 Run with:  PYTHONPATH=src python examples/mobility_sweep.py
 """
@@ -20,55 +22,62 @@ from __future__ import annotations
 
 import os
 
-from repro import SystemSetup
-from repro.mobility import Area, MobilityConfig, RandomWaypoint
-from repro.sim import Scenario, ScenarioRunner, comparison_csv, comparison_table
+from repro.campaign import CampaignSpec, run_campaign
 
-PROTOCOLS = ["proposed", "bd", "ssn"]
-TX_RANGES = [140.0, 180.0, 240.0]
+PROTOCOLS = ("proposed-gka", "bd-unauthenticated", "ssn")
+TX_RANGES = (140.0, 180.0, 240.0)
 SEED = "mobility-sweep"
 
 
-def sweep_scenario(tx_range: float) -> Scenario:
-    return Scenario(
-        name=f"rwp-range-{tx_range:g}",
-        initial_size=20,
-        mobility=MobilityConfig(
-            model=RandomWaypoint(min_speed=2.0, max_speed=10.0),
-            area=Area(500.0, 500.0),
-            tx_range=tx_range,
-            duration=120.0,
-            tick=2.0,
-            edge_loss=0.1,
-            settle_ticks=2,
-        ),
-        seed=SEED,
-    )
+def mobility_spec(tx_range: float) -> dict:
+    return {
+        "model": "random-waypoint",
+        "min_speed": 2.0,
+        "max_speed": 10.0,
+        "area": [500.0, 500.0],
+        "tx_range": tx_range,
+        "duration": 120.0,
+        "tick": 2.0,
+        "edge_loss": 0.1,
+        "settle_ticks": 2,
+    }
+
+
+SPEC = CampaignSpec(
+    name="mobility-sweep",
+    protocols=PROTOCOLS,
+    group_sizes=(20,),
+    mobilities={f"range-{r:g}m": mobility_spec(r) for r in TX_RANGES},
+    seed=SEED,
+)
 
 
 def main() -> None:
-    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
-    runner = ScenarioRunner(setup)
+    workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
     out_dir = os.environ.get("MOBILITY_SWEEP_OUT", ".")
 
-    for tx_range in TX_RANGES:
-        scenario = sweep_scenario(tx_range)
-        events = scenario.build_events()
-        kinds = [event.kind for event in events]
-        print()
-        print(
-            f"range {tx_range:g}m: initial group {len(scenario.initial_members())}"
-            f"/{scenario.initial_size}, emergent events: "
-            + (", ".join(kinds) if kinds else "none")
-        )
-        reports = runner.run_all(list(PROTOCOLS), scenario)
-        print(comparison_table(reports))
+    result = run_campaign(SPEC, workers=workers)
+    assert result.failures() == []
+    print(result.summary())
+    print()
+    print(result.pivot_table("protocol", "mobility", "energy_j"))
+    print()
+    print(result.pivot_table("protocol", "mobility", "relay_energy_j"))
+    print()
+    print(result.pivot_table("protocol", "mobility", "mean_hops", fmt="{:.2f}"))
 
-        csv_path = os.path.join(out_dir, f"mobility_range_{tx_range:g}.csv")
-        comparison_csv(reports, csv_path)
-        json_path = os.path.join(out_dir, f"mobility_range_{tx_range:g}_proposed.json")
-        reports[0].to_json(json_path)
-        print(f"exported: {csv_path}, {json_path}")
+    csv_path = os.path.join(out_dir, "mobility_sweep.csv")
+    json_path = os.path.join(out_dir, "mobility_sweep.json")
+    result.to_csv(csv_path)
+    result.to_json(json_path)
+    print()
+    print(f"exported: {csv_path}, {json_path}")
+
+    # Physics sanity straight off the rows: shrinking the radio range can
+    # only deepen the floods, never flatten them.
+    hops = result.pivot("protocol", "mobility", "mean_hops")
+    for protocol in PROTOCOLS:
+        assert hops[protocol]["range-140m"] >= hops[protocol]["range-240m"]
 
 
 if __name__ == "__main__":

@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
-"""Scenario engine demo: the same churn workload under every protocol.
+"""Scenario sweeps as campaigns: three churn workloads, one worker pool.
 
 The paper's comparison is "proposed vs baselines under dynamic membership".
-This example declares three scenarios — steady Poisson churn, bursty
-partitions on a lossy medium, and a steady trickle of merging sub-groups —
-and drives each through the proposed protocol and two baselines selected *by
-registry name*, then prints side-by-side energy/message reports.
+The original version of this example drove each scenario through each
+protocol in a hand-rolled serial loop; it is now three
+:class:`~repro.campaign.CampaignSpec` declarations — steady Poisson churn,
+bursty partitions on a lossy medium, and a steady trickle of merging
+sub-groups — executed by the sharded campaign runner.  Same numbers (each
+cell is the same ``ScenarioRunner`` run), arbitrarily many cores.
 
-Each comparison is also exported in machine-readable form: one CSV of
-cross-protocol totals per scenario plus a JSON drill-down of the proposed
-protocol's per-event records (set ``SCENARIO_SWEEP_OUT`` to choose the
-output directory).
+Each campaign's long-form rows are exported as CSV/JSON (set
+``SCENARIO_SWEEP_OUT`` to choose the output directory) and the side-by-side
+energy/message comparison is printed from the row aggregation.
 
 Run with:  PYTHONPATH=src python examples/scenario_sweep.py
 """
@@ -19,62 +20,78 @@ from __future__ import annotations
 
 import os
 
-from repro import SystemSetup, available_protocols
-from repro.sim import (
-    BurstPartitions,
-    PeriodicMerges,
-    PoissonChurn,
-    Scenario,
-    ScenarioRunner,
-    comparison_csv,
-    comparison_table,
-)
+from repro import available_protocols
+from repro.campaign import CampaignSpec, run_campaign
 
 #: Registry names — no protocol class is imported anywhere in this script.
-PROTOCOLS = ["proposed", "bd", "ssn"]
+PROTOCOLS = ("proposed-gka", "bd-unauthenticated", "ssn")
 
-SCENARIOS = [
-    Scenario(
+CAMPAIGNS = [
+    CampaignSpec(
         name="steady-churn",
-        initial_size=12,
-        schedule=PoissonChurn(length=15, join_rate=3.0, leave_rate=3.0),
+        protocols=PROTOCOLS,
+        group_sizes=(12,),
+        schedule={"kind": "poisson", "length": 15, "join_rate": 3.0, "leave_rate": 3.0},
         seed="sweep-a",
     ),
-    Scenario(
+    CampaignSpec(
         name="bursty-lossy",
-        initial_size=12,
-        schedule=BurstPartitions(bursts=3, burst_size=3, period=30.0),
+        protocols=PROTOCOLS,
+        group_sizes=(12,),
+        losses=(0.15,),
+        schedule={"kind": "bursts", "bursts": 3, "burst_size": 3, "period": 30.0},
         seed="sweep-b",
-        loss_probability=0.15,
     ),
-    Scenario(
+    CampaignSpec(
         name="merging-swarms",
-        initial_size=6,
-        schedule=PeriodicMerges(merges=4, merge_size=3, period=60.0),
+        protocols=PROTOCOLS,
+        group_sizes=(6,),
+        schedule={"kind": "merges", "merges": 4, "merge_size": 3, "period": 60.0},
         seed="sweep-c",
     ),
 ]
 
+COLUMNS = ("energy_j", "messages", "bits", "bits_with_retries", "agreed")
+
 
 def main() -> None:
-    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
     print("Registered protocols:", ", ".join(available_protocols()))
-    runner = ScenarioRunner(setup)
+    workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
     out_dir = os.environ.get("SCENARIO_SWEEP_OUT", ".")
 
-    for scenario in SCENARIOS:
-        reports = runner.run_all(list(PROTOCOLS), scenario)
+    for spec in CAMPAIGNS:
+        result = run_campaign(spec, workers=workers)
+        assert result.failures() == []
         print()
-        print(comparison_table(reports))
-        csv_path = os.path.join(out_dir, f"{scenario.name}.csv")
-        comparison_csv(reports, csv_path)
-        json_path = os.path.join(out_dir, f"{scenario.name}_proposed.json")
-        reports[0].to_json(json_path)
+        print(f"campaign: {spec.name} ({len(result.rows)} cells, {workers} workers)")
+        header = f"{'protocol':<20}" + "".join(f"{c:>18}" for c in COLUMNS)
+        print(header)
+        print("-" * len(header))
+        for row in result.rows:
+            line = f"{row['protocol']:<20}"
+            for column in COLUMNS:
+                value = row[column]
+                line += f"{value:>18.6f}" if isinstance(value, float) else f"{value!s:>18}"
+            print(line)
+
+        csv_path = os.path.join(out_dir, f"{spec.name}.csv")
+        result.to_csv(csv_path)
+        json_path = os.path.join(out_dir, f"{spec.name}.json")
+        result.to_json(json_path)
         print(f"exported: {csv_path}, {json_path}")
 
-    # Drill into one report: per-kind averages for the proposed protocol
-    # under steady churn (the shape of the paper's Table 5, per event kind).
-    report = runner.run("proposed", SCENARIOS[0])
+    # Drill into one cell the way the old serial loop drilled into one
+    # report: per-kind cost shape for the proposed protocol under steady
+    # churn (the shape of the paper's Table 5) via the scenario engine.
+    from repro import SystemSetup
+    from repro.sim import ScenarioRunner
+    from repro.sim.specio import build_scenario
+
+    setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+    cell = CAMPAIGNS[0].cells()[0]  # proposed-gka under steady-churn
+    report = ScenarioRunner(setup).run(
+        cell.axes["protocol"], build_scenario(dict(cell.payload["scenario"]))
+    )
     print()
     print(report.summary())
 

@@ -90,6 +90,7 @@ from .adversary import (
     SecurityReport,
     run_attack_matrix,
 )
+from .campaign import CampaignResult, CampaignSpec, run_campaign
 from .pki import Identity, IdentityRegistry, PrivateKeyGenerator
 
 __version__ = "1.0.0"
@@ -101,6 +102,10 @@ __all__ = [
     "AdversarySuite",
     "SecurityReport",
     "run_attack_matrix",
+    # campaign
+    "CampaignResult",
+    "CampaignSpec",
+    "run_campaign",
     # core
     "GroupSession",
     "GroupState",

@@ -33,7 +33,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, ProtocolError
 from .config import ATTACKER_PRESETS, AdversaryConfig
 
 __all__ = [
@@ -202,6 +202,31 @@ class SecurityReport:
         return text
 
 
+def _default_matrix_scenario():
+    """The standard survey workload: establish + leave + leave + join.
+
+    Two leaves make every round label recur (the replayer needs a later step
+    reusing an earlier step's slots), and the join exercises the
+    backward-secrecy oracle.
+    """
+    from ..network.events import JoinEvent, LeaveEvent
+    from ..pki.identity import Identity
+    from ..sim.scenarios import Scenario, TraceReplay
+
+    return Scenario(
+        name="attack-matrix",
+        initial_size=6,
+        schedule=TraceReplay(
+            events=(
+                LeaveEvent(leaving=Identity("member-003")),
+                LeaveEvent(leaving=Identity("member-004")),
+                JoinEvent(joining=Identity("member-new")),
+            )
+        ),
+        seed="attack-matrix",
+    )
+
+
 def run_attack_matrix(
     setup,
     *,
@@ -210,6 +235,8 @@ def run_attack_matrix(
     scenario=None,
     device=None,
     engine=None,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> SecurityReport:
     """Run every protocol under every attacker model and classify the cells.
 
@@ -217,14 +244,17 @@ def run_attack_matrix(
     a no-adversary baseline column); defaults to a ``baseline`` column plus
     every preset.  ``scenario`` defaults to a small establish + leave + join
     trace exercising the dynamic sub-protocols too.
+
+    The matrix is a :mod:`repro.campaign` sweep under the hood — protocols ×
+    attacker columns as campaign axes — so ``workers`` shards the cells over
+    a process pool and ``cache_dir`` replays unchanged cells, with output
+    bit-identical to the serial run either way.  A non-default ``device`` (or
+    an engine/scenario a JSON spec cannot express) falls back to the in-process
+    serial loop, which is equivalent but unsharded.
     """
     # Imported lazily: this module is reachable from ``repro.sim`` (the
     # runner consults the oracles), so a module-level import would be a cycle.
     from ..core.registry import available_protocols
-    from ..network.events import JoinEvent, LeaveEvent
-    from ..pki.identity import Identity
-    from ..sim.runner import ScenarioRunner
-    from ..sim.scenarios import Scenario, TraceReplay
 
     if protocols is None:
         protocols = available_protocols()
@@ -233,21 +263,141 @@ def run_attack_matrix(
         columns.update(default_attackers())
         attackers = columns
     if scenario is None:
-        # Two leaves make every round label recur (the replayer needs a
-        # later step reusing an earlier step's slots), and the join exercises
-        # the backward-secrecy oracle.
-        scenario = Scenario(
-            name="attack-matrix",
-            initial_size=6,
-            schedule=TraceReplay(
-                events=(
-                    LeaveEvent(leaving=Identity("member-003")),
-                    LeaveEvent(leaving=Identity("member-004")),
-                    JoinEvent(joining=Identity("member-new")),
-                )
-            ),
-            seed="attack-matrix",
+        scenario = _default_matrix_scenario()
+
+    if device is None:
+        try:
+            return _run_matrix_campaign(
+                setup,
+                protocols=protocols,
+                attackers=attackers,
+                scenario=scenario,
+                engine=engine,
+                workers=workers,
+                cache_dir=cache_dir,
+            )
+        except ParameterError:
+            # Not spec-serializable (custom schedule class, exotic latency
+            # model, ...): the serial loop below handles every live object.
+            pass
+    return _run_matrix_serial(
+        setup,
+        protocols=protocols,
+        attackers=attackers,
+        scenario=scenario,
+        device=device,
+        engine=engine,
+    )
+
+
+def _params_for_setup(setup) -> str:
+    """The worker-side ``params`` name reproducing ``setup`` exactly.
+
+    Campaign workers rebuild the setup from a name, so only the two canonical
+    named parameter sets are expressible; anything else (custom groups,
+    generated parameters, non-default hash sizes) raises
+    :class:`~repro.exceptions.ParameterError`, which sends
+    :func:`run_attack_matrix` down the serial fallback instead of silently
+    evaluating a different cryptosystem.
+    """
+    from ..core.base import SystemSetup
+
+    for params, reference in (
+        ("test", SystemSetup.from_param_sets("test-256", "gq-test-256")),
+        ("paper", SystemSetup.from_param_sets()),
+    ):
+        if (
+            setup.group.p == reference.group.p
+            and setup.group.q == reference.group.q
+            and setup.group.g == reference.group.g
+            and setup.pkg.params.n == reference.pkg.params.n
+            and setup.hash_function.output_bits == reference.hash_function.output_bits
+        ):
+            return params
+    raise ParameterError("setup is not a canonical named parameter set")
+
+
+def _run_matrix_campaign(
+    setup,
+    *,
+    protocols: Sequence[str],
+    attackers: Mapping[str, Optional[AdversaryConfig]],
+    scenario,
+    engine,
+    workers: int,
+    cache_dir: Optional[str],
+) -> SecurityReport:
+    """The sharded path: protocols × attacker columns as a campaign grid."""
+    from ..campaign.execute import run_campaign
+    from ..campaign.spec import CampaignSpec
+    from ..sim.specio import adversary_to_spec, engine_to_spec, scenario_to_spec
+
+    scenario_spec = scenario_to_spec(scenario)
+    params = _params_for_setup(setup)
+    spec = CampaignSpec(
+        name=f"attack-matrix/{scenario.name}",
+        protocols=tuple(protocols),
+        group_sizes=(scenario.initial_size,),
+        losses=(scenario.loss_probability,),
+        schedule=scenario_spec.get("schedule"),
+        mobilities={"none": scenario_spec.get("mobility")},
+        engines=(engine_to_spec(engine),),
+        adversaries={
+            name: adversary_to_spec(config) for name, config in attackers.items()
+        },
+        seed=scenario.seed,
+        params=params,
+        max_retries=scenario.max_retries,
+        min_group_size=scenario.min_group_size,
+    )
+    # The matrix must replay the *scenario* verbatim — its exact seed, name,
+    # member prefix, every field — not the campaign's derived workload
+    # scenario: every cell gets the full faithful spec, varying only in the
+    # adversary column the cell belongs to.
+    cells = spec.cells()
+    for cell in cells:
+        pinned = dict(scenario_spec)
+        adversary_spec = cell.payload["scenario"].get("adversary")
+        if adversary_spec is not None:
+            pinned["adversary"] = adversary_spec
+        else:
+            pinned.pop("adversary", None)
+        cell.payload["scenario"] = pinned
+    result = run_campaign(spec, cells=cells, workers=workers, cache_dir=cache_dir)
+
+    outcomes: List[AttackOutcome] = []
+    for row in result.rows:
+        if row.get("error"):
+            raise ProtocolError(
+                f"attack-matrix cell {row.get('cell')} failed: {row['error']}"
+            )
+        outcomes.append(
+            AttackOutcome(
+                protocol=str(row["protocol"]),
+                attacker=str(row["adversary"]),
+                verdict=str(row["security_verdict"]),
+                attacks=int(row["attacks"]),
+                detail=str(row.get("security_detail", "")),
+            )
         )
+    return SecurityReport(
+        scenario_name=scenario.name,
+        scenario_description=scenario.describe(),
+        outcomes=outcomes,
+    )
+
+
+def _run_matrix_serial(
+    setup,
+    *,
+    protocols: Sequence[str],
+    attackers: Mapping[str, Optional[AdversaryConfig]],
+    scenario,
+    device,
+    engine,
+) -> SecurityReport:
+    """The in-process fallback for live objects a spec cannot express."""
+    from ..sim.runner import ScenarioRunner
 
     runner = ScenarioRunner(setup, device=device, engine=engine, check_agreement=False)
     outcomes: List[AttackOutcome] = []

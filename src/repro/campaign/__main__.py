@@ -1,0 +1,107 @@
+"""``python -m repro.campaign`` — run a campaign spec without writing a script.
+
+The spec is a JSON object of :class:`~repro.campaign.spec.CampaignSpec`
+fields::
+
+    {
+      "name": "loss-sweep",
+      "protocols": ["proposed-gka", "bd-unauthenticated", "ssn"],
+      "group_sizes": [8, 12],
+      "losses": [0.0, 0.1, 0.2],
+      "schedule": {"kind": "poisson", "length": 8},
+      "adversaries": {"none": null, "inject": "inject"},
+      "seed": 7
+    }
+
+Examples::
+
+    python -m repro.campaign spec.json --workers 4
+    python -m repro.campaign spec.json --workers 4 --cache-dir .campaign-cache \\
+        --csv rows.csv --json result.json --pivot protocol:loss:energy_j
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..exceptions import ReproError
+from .execute import run_campaign
+from .spec import AXIS_NAMES, CampaignSpec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Expand a JSON campaign spec into its parameter grid, run "
+        "every cell (optionally sharded over worker processes), and emit the "
+        "aggregated rows.",
+    )
+    parser.add_argument("spec", help="path to the campaign spec JSON ('-' for stdin)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default 1; output is bit-identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-hash result cache directory (re-runs replay unchanged cells)",
+    )
+    parser.add_argument("--csv", default=None, help="write the long-form rows CSV here")
+    parser.add_argument("--json", default=None, help="write the full result JSON here")
+    parser.add_argument(
+        "--pivot",
+        default=None,
+        metavar="INDEX:COLUMNS:VALUE",
+        help=f"print a pivot table (axes: {', '.join(AXIS_NAMES)}; "
+        "value: any metric column, e.g. energy_j)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the summary on stdout"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.spec == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.spec, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        spec = CampaignSpec.from_dict(payload)
+        pivot = None
+        if args.pivot is not None:
+            parts = args.pivot.split(":")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"--pivot must be INDEX:COLUMNS:VALUE, got {args.pivot!r}"
+                )
+            pivot = tuple(parts)
+        if args.workers < 1:
+            raise ValueError("--workers must be at least 1")
+    except (ReproError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+        # A mistyped spec should print one line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
+
+    if args.csv:
+        result.to_csv(args.csv)
+    if args.json:
+        result.to_json(args.json)
+    if not args.quiet:
+        print(result.summary())
+        if pivot is not None:
+            print()
+            print(result.pivot_table(*pivot))
+    # Per-cell failures are isolated, not fatal — but they must not look like
+    # success to scripts either.
+    return 1 if result.failures() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

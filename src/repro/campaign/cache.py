@@ -1,0 +1,83 @@
+"""Content-addressed result caching for campaign cells.
+
+A cell's *payload* (its JSON work order, :mod:`repro.campaign.spec`) fully
+determines its deterministic result, so the payload's canonical-JSON SHA-256
+is a sound cache key: re-running an edited campaign recomputes exactly the
+cells whose payloads changed (a new protocol, a reseeded axis, a different
+loss level) and replays everything else from disk.  Host wall time is the one
+field a cached row cannot refresh; rows replayed from the cache are marked
+``cached=True`` so aggregations can tell.
+
+The cache layout is one ``<sha256>.json`` file per cell under the cache
+directory — trivially inspectable, safe to delete wholesale, and naturally
+shared between campaigns that happen to contain identical cells.
+
+``CACHE_VERSION`` is baked into every key; bump it whenever the simulation's
+observable outputs change so stale results can never masquerade as fresh
+ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Mapping, Optional
+
+__all__ = ["CACHE_VERSION", "ResultCache", "payload_hash"]
+
+#: Bump on any change to what execute_cell computes from a payload.
+CACHE_VERSION = 1
+
+
+def payload_hash(payload: Mapping) -> str:
+    """The content hash of one cell payload (stable across key order)."""
+    canonical = json.dumps(
+        {"version": CACHE_VERSION, "payload": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed cell results.
+
+    Misses and hits are counted so callers (and the CLI) can report how much
+    of a re-run was replayed.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, payload: Mapping) -> str:
+        return os.path.join(self.directory, payload_hash(payload) + ".json")
+
+    def get(self, payload: Mapping) -> Optional[Dict[str, object]]:
+        """The cached row for ``payload``, or ``None`` (a corrupt or missing
+        entry counts as a miss and will be recomputed)."""
+        path = self._path(payload)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                row = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        row["cached"] = True
+        return row
+
+    def put(self, payload: Mapping, row: Mapping) -> None:
+        """Store one freshly computed row (atomically, via rename)."""
+        path = self._path(payload)
+        stored = {key: value for key, value in row.items() if key != "cached"}
+        tmp = f"{path}.tmp{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))

@@ -1,0 +1,214 @@
+"""Sharded campaign execution: one process pool, crash-isolated cells.
+
+:func:`execute_cell` is the whole worker contract — a **pure function from a
+JSON payload to a JSON row**.  It builds the cell's
+:class:`~repro.core.base.SystemSetup`, scenario and engine inside the worker
+process (nothing live is ever pickled across the boundary), runs the
+:class:`~repro.sim.runner.ScenarioRunner`, and flattens the report into a
+flat row of axis values and metrics.  Any exception becomes an ``error`` row
+instead of propagating, so one pathological cell cannot take down a thousand
+good ones.
+
+:func:`run_campaign` shards the cells over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Results are assembled **by
+cell index, never by completion order**, and every stochastic input lives in
+the cell's own derived seed — which is why ``workers=N`` output is
+bit-identical to ``workers=1`` (the property ``tests/test_campaign.py`` pins
+for every registry protocol).  With a cache directory, previously computed
+cells are replayed from disk and only payload changes recompute.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import ParameterError
+from .cache import ResultCache
+from .result import CampaignResult
+from .spec import CampaignCell, CampaignSpec
+
+__all__ = ["execute_cell", "run_campaign"]
+
+#: Per-process SystemSetup cache: building the 256/1024-bit parameter sets is
+#: pure and deterministic, so sharing one instance across a worker's cells
+#: changes nothing but the wall time.
+_SETUPS: Dict[str, object] = {}
+
+
+def _setup_for(params: str):
+    from ..core.base import SystemSetup
+
+    setup = _SETUPS.get(params)
+    if setup is None:
+        if params == "paper":
+            setup = SystemSetup.from_param_sets()
+        else:
+            setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
+        _SETUPS[params] = setup
+    return setup
+
+
+def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one campaign cell and return its flat result row.
+
+    Never raises: failures are captured into the row's ``error`` field with
+    the exception's traceback tail, keeping sibling cells unaffected.
+    """
+    started = time.perf_counter()
+    row: Dict[str, object] = {
+        "campaign": payload.get("campaign", ""),
+        "cell": payload.get("cell", ""),
+    }
+    row.update(payload.get("axes", {}))
+    row.update(
+        seed=payload.get("scenario", {}).get("seed", ""),
+        cached=False,
+        error="",
+    )
+    try:
+        row.update(_run_cell(payload))
+    except Exception as exc:  # crash isolation: the row *is* the error report
+        tail = traceback.format_exc().strip().splitlines()[-1]
+        row["error"] = f"{type(exc).__name__}: {exc}" if str(exc) else tail
+    row["wall_seconds"] = time.perf_counter() - started
+    return row
+
+
+def _run_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    """The fallible core of :func:`execute_cell` (imports stay in-worker)."""
+    from ..adversary.matrix import classify_report
+    from ..sim.runner import ScenarioRunner
+    from ..sim.specio import build_engine, build_scenario
+
+    setup = _setup_for(str(payload.get("params", "test")))
+    scenario = build_scenario(dict(payload["scenario"]))
+    engine = build_engine(payload.get("engine"))
+    runner = ScenarioRunner(setup, engine=engine, check_agreement=False)
+    report = runner.run(str(payload["protocol"]), scenario)
+    verdict, detail = classify_report(report)
+
+    metrics: Dict[str, object] = {
+        "steps": len(report.records),
+        "events": len(report.events),
+        "final_size": report.final_size,
+        "agreed": report.agreed_throughout,
+        "aborted": report.aborted,
+        "energy_j": report.total_energy_j,
+        "messages": report.total_messages,
+        "bits": report.total_bits(),
+        "bits_with_retries": report.total_bits(include_retries=True),
+        "transmissions": report.total_transmissions,
+        "relay_bits": report.total_relay_bits,
+        "relay_energy_j": report.total_relay_energy_j,
+        "mean_hops": report.mean_hops,
+        "sim_latency_s": report.total_sim_latency_s,
+        "timeouts": report.total_timeouts,
+        "attacks": report.total_attacks,
+        "detected": report.attacks_detected,
+        "security_verdict": verdict,
+        "security_detail": detail,
+        "key_fingerprint": report.key_fingerprint,
+    }
+    for name, outcome in report.oracle_outcomes().items():
+        metrics["oracle_" + name.replace("-", "_")] = outcome
+    return metrics
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits warm caches); fall back where unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    cells: Optional[List[CampaignCell]] = None,
+) -> CampaignResult:
+    """Execute every cell of ``spec`` and aggregate the rows.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``1`` (the default) runs everything in this process.
+        Output is bit-identical either way.
+    cache_dir:
+        Enable the content-hash result cache in this directory: cells whose
+        payloads are unchanged replay from disk, everything else recomputes
+        and is stored back.
+    chunksize:
+        Cells handed to a worker per dispatch; defaults to spreading the
+        pending cells roughly four chunks per worker.
+    progress:
+        Optional ``callback(done, total)`` fired after every completed cell.
+    cells:
+        Pre-expanded (possibly adjusted) cell list to run instead of
+        ``spec.cells()`` — how the attack matrix pins every cell to its
+        scenario's verbatim seed.  Cell indices must be ``0..len-1``.
+    """
+    if workers < 1:
+        raise ParameterError("workers must be at least 1")
+    if cells is None:
+        cells = spec.cells()
+    elif [cell.index for cell in cells] != list(range(len(cells))):
+        raise ParameterError("adjusted cell lists must keep contiguous indices")
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    rows: List[Optional[Dict[str, object]]] = [None] * len(cells)
+
+    pending: List[CampaignCell] = []
+    for cell in cells:
+        cached = cache.get(cell.payload) if cache is not None else None
+        if cached is not None:
+            rows[cell.index] = cached
+        else:
+            pending.append(cell)
+
+    started = time.perf_counter()
+    done = len(cells) - len(pending)
+    if progress is not None and done:
+        progress(done, len(cells))
+
+    def _finish(cell: CampaignCell, row: Dict[str, object]) -> None:
+        nonlocal done
+        rows[cell.index] = row
+        if cache is not None and not row.get("error"):
+            cache.put(cell.payload, row)
+        done += 1
+        if progress is not None:
+            progress(done, len(cells))
+
+    if workers == 1 or len(pending) <= 1:
+        for cell in pending:
+            _finish(cell, execute_cell(dict(cell.payload)))
+        workers_used = 1
+    else:
+        workers_used = min(workers, len(pending))
+        if chunksize is None:
+            chunksize = max(1, len(pending) // (workers_used * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers_used, mp_context=_pool_context()
+        ) as pool:
+            payloads = [dict(cell.payload) for cell in pending]
+            # Ordered map: results come back in submission order regardless
+            # of which worker finishes first — determinism needs no sorting.
+            for cell, row in zip(pending, pool.map(execute_cell, payloads, chunksize=chunksize)):
+                _finish(cell, row)
+
+    assert all(row is not None for row in rows)
+    return CampaignResult(
+        name=spec.name,
+        spec=spec.to_dict(),
+        rows=[row for row in rows if row is not None],
+        workers=workers_used,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )

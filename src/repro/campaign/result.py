@@ -1,0 +1,225 @@
+"""Campaign aggregation: long-form rows, groupby/pivot views, exports.
+
+A :class:`CampaignResult` is a list of flat per-cell rows (axis values +
+metrics, one dict per grid point) plus the spec that produced them.  The
+aggregation helpers deliberately mirror a dataframe's verbs — ``rows`` is the
+long-form table, :meth:`CampaignResult.groupby` collapses along axes,
+:meth:`CampaignResult.pivot` crosses two of them — without requiring pandas:
+everything is plain dicts, CSV and JSON.
+
+Determinism bookkeeping lives here too: :data:`NONDETERMINISTIC_FIELDS` names
+the row fields that legitimately differ between two executions of the same
+spec (host wall time, cache provenance), and
+:meth:`CampaignResult.deterministic_rows` strips them — the exact view the
+determinism test harness compares between ``workers=1`` and ``workers=N``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ParameterError
+
+__all__ = ["NONDETERMINISTIC_FIELDS", "CampaignResult", "mean", "total"]
+
+#: Row fields allowed to differ between two runs of the same spec: host
+#: timing and cache provenance.  Everything else must be bit-identical.
+NONDETERMINISTIC_FIELDS = ("wall_seconds", "cached")
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (the default aggregation)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def total(values: Sequence[float]) -> float:
+    """Plain sum, for additive metrics like energy or messages."""
+    return float(sum(values))
+
+
+def _axis_sort_key(value: object):
+    """Sort numeric axis values numerically, everything else lexically."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return (1, str(value))
+    return (0, float(value))
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    name: str
+    #: the spec's JSON dict form (what :meth:`to_json` embeds for provenance)
+    spec: Mapping[str, object]
+    #: one flat dict per cell, in cell (grid) order
+    rows: List[Dict[str, object]]
+    #: process count actually used
+    workers: int = 1
+    #: host wall time for the whole run (cache replays included)
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    # ------------------------------------------------------------ basic views
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def failures(self) -> List[Dict[str, object]]:
+        """Rows whose cell crashed (``error`` non-empty)."""
+        return [row for row in self.rows if row.get("error")]
+
+    def ok_rows(self) -> List[Dict[str, object]]:
+        """Rows whose cell completed."""
+        return [row for row in self.rows if not row.get("error")]
+
+    def deterministic_rows(self) -> List[Dict[str, object]]:
+        """The rows with host-dependent fields stripped.
+
+        Two executions of the same spec — any worker count, cache hot or
+        cold — must produce equal lists here; the campaign determinism
+        harness asserts exactly that.
+        """
+        return [
+            {k: v for k, v in row.items() if k not in NONDETERMINISTIC_FIELDS}
+            for row in self.rows
+        ]
+
+    def column(self, name: str) -> List[object]:
+        """One column across every completed row."""
+        return [row[name] for row in self.ok_rows() if name in row]
+
+    # ------------------------------------------------------------ aggregation
+    def groupby(
+        self,
+        keys: Sequence[str],
+        value: str,
+        agg: Callable[[Sequence[float]], float] = mean,
+    ) -> Dict[Tuple[object, ...], float]:
+        """Aggregate ``value`` over every combination of ``keys``.
+
+        >>> result.groupby(("protocol",), "energy_j")        # doctest: +SKIP
+        {('proposed-gka',): 0.58, ('bd-unauthenticated',): 0.31}
+        """
+        if isinstance(keys, str):
+            raise ParameterError("keys must be a sequence of column names, not a string")
+        groups: Dict[Tuple[object, ...], List[float]] = {}
+        for row in self.ok_rows():
+            group = tuple(row.get(key) for key in keys)
+            groups.setdefault(group, []).append(float(row[value]))
+        return {group: agg(values) for group, values in groups.items()}
+
+    def pivot(
+        self,
+        index: str,
+        columns: str,
+        value: str,
+        agg: Callable[[Sequence[float]], float] = mean,
+    ) -> Dict[object, Dict[object, float]]:
+        """Cross two axes: ``{index_value: {column_value: aggregated value}}``."""
+        cells = self.groupby((index, columns), value, agg)
+        table: Dict[object, Dict[object, float]] = {}
+        for (row_key, col_key), cell in cells.items():
+            table.setdefault(row_key, {})[col_key] = cell
+        return table
+
+    def pivot_table(
+        self,
+        index: str,
+        columns: str,
+        value: str,
+        agg: Callable[[Sequence[float]], float] = mean,
+        *,
+        fmt: str = "{:.6g}",
+    ) -> str:
+        """The pivot rendered as fixed-width text (for terminals and READMEs)."""
+        table = self.pivot(index, columns, value, agg)
+        col_keys = sorted(
+            {col for cols in table.values() for col in cols}, key=_axis_sort_key
+        )
+        width = max([10] + [len(str(c)) for c in col_keys]) + 2
+        left = max([len(index)] + [len(str(r)) for r in table]) + 2
+        header = f"{value} ({agg.__name__}), {index} x {columns}"
+        lines = [
+            header,
+            f"{index:<{left}}" + "".join(f"{str(c):>{width}}" for c in col_keys),
+        ]
+        lines.append("-" * len(lines[-1]))
+        for row_key in sorted(table, key=_axis_sort_key):
+            line = f"{str(row_key):<{left}}"
+            for col_key in col_keys:
+                cell = table[row_key].get(col_key)
+                line += f"{fmt.format(cell) if cell is not None else '-':>{width}}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    # -------------------------------------------------------------- rendering
+    def summary(self) -> str:
+        """A short human-readable account of the run."""
+        lines = [
+            f"campaign : {self.name} — {len(self.rows)} cells "
+            f"({self.workers} worker{'s' if self.workers != 1 else ''}, "
+            f"{self.wall_seconds:.2f} s wall)",
+        ]
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"cache    : {self.cache_hits} replayed, {self.cache_misses} computed"
+            )
+        failures = self.failures()
+        if failures:
+            lines.append(f"failures : {len(failures)} cell(s)")
+            for row in failures[:5]:
+                lines.append(f"  {row.get('cell', '?')}: {row['error']}")
+            if len(failures) > 5:
+                lines.append(f"  ... and {len(failures) - 5} more")
+        else:
+            lines.append("failures : none")
+        verdicts = sorted({str(row.get("security_verdict", "")) for row in self.ok_rows()})
+        if verdicts and verdicts != ["clean"]:
+            lines.append(f"verdicts : {', '.join(v for v in verdicts if v)}")
+        return "\n".join(lines)
+
+    # ---------------------------------------------------------------- exports
+    def _fieldnames(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The long-form rows as CSV (written to ``path`` when given)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=self._fieldnames(), lineterminator="\n", restval=""
+        )
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_json(self, path: Optional[str] = None, *, indent: int = 2) -> str:
+        """Spec, run metadata and rows as one JSON document."""
+        payload = {
+            "campaign": self.name,
+            "spec": self.spec,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "cells": len(self.rows),
+            "failures": len(self.failures()),
+            "rows": self.rows,
+        }
+        text = json.dumps(payload, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text

@@ -1,0 +1,381 @@
+"""Declarative parameter-grid campaigns.
+
+A :class:`CampaignSpec` names the axes of a sweep — protocols, group sizes,
+loss levels, mobility models, engine profiles, adversary models, replications
+— and expands their Cartesian product into :class:`CampaignCell`\\ s.  Each
+cell carries a *payload*: a plain JSON-able work order (protocol name +
+scenario spec + engine profile, see :mod:`repro.sim.specio`) that can cross a
+process boundary, be content-hashed for the result cache, or be replayed from
+a file.  No live object ever travels to a worker.
+
+Determinism is structural:
+
+* every cell owns a stable **key** (``protocol=bd/n=8/...``) derived from its
+  axis values, independent of expansion order;
+* every cell's scenario seed is a **named child** of the campaign's master
+  seed, derived from the cell's *workload key* — the group-size, mobility and
+  replication axes.  Cells sharing a workload share the seed (and the
+  scenario name the RNG streams are labelled with), so protocols, loss
+  levels, engine profiles and adversaries are compared over **identical**
+  churn schedules and trajectories — the same comparability contract
+  :meth:`~repro.sim.runner.ScenarioRunner.run_all` gives.  Editing the
+  master seed or a workload axis reseeds exactly the cells it touches;
+* cells are fully independent, so executing them serially, sharded over a
+  process pool, or resumed from a cache yields identical rows.
+
+Loss composition: on a schedule-driven cell the loss axis is the medium's
+``loss_probability``; on a mobility-driven cell (where uniform loss is
+meaningless) it becomes the radio's ``base_loss`` floor, with ``edge_loss``
+raised to at least the same level — one knob, interpreted by whichever medium
+the cell runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import ParameterError
+from ..mathutils.rand import DeterministicRNG
+
+__all__ = ["CampaignCell", "CampaignSpec", "AXIS_NAMES"]
+
+#: Cell-key axis names, in key order (also the row columns the axes become).
+AXIS_NAMES = (
+    "protocol",
+    "group_size",
+    "mobility",
+    "loss",
+    "engine",
+    "adversary",
+    "rep",
+)
+
+
+def _named_axis(
+    value: Union[Mapping, Sequence, None],
+    *,
+    default_name: str,
+    what: str,
+    string_shorthand: bool = False,
+) -> Tuple[Tuple[str, object], ...]:
+    """Normalise a named axis (mobilities/adversaries) to ``((name, spec), ...)``.
+
+    Accepts a mapping ``{name: spec}``, a sequence of ``(name, spec)`` pairs,
+    or ``None`` for the single no-op point.  With ``string_shorthand`` a
+    sequence of bare names is also accepted, each name serving as its own
+    spec — meaningful only for adversaries, whose specs can *be* preset name
+    strings.
+    """
+    if value is None:
+        return ((default_name, None),)
+    if isinstance(value, Mapping):
+        items = list(value.items())
+    else:
+        items = []
+        for entry in value:
+            if isinstance(entry, str) and string_shorthand:
+                items.append((entry, entry))
+            elif (
+                not isinstance(entry, str)
+                and isinstance(entry, (tuple, list))
+                and len(entry) == 2
+            ):
+                items.append((str(entry[0]), entry[1]))
+            else:
+                expected = (
+                    "names or (name, spec) pairs" if string_shorthand else "(name, spec) pairs"
+                )
+                raise ParameterError(f"{what} entries must be {expected}, got {entry!r}")
+    if not items:
+        raise ParameterError(f"{what} axis cannot be empty")
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise ParameterError(f"{what} names must be unique, got {names}")
+    return tuple((str(name), spec) for name, spec in items)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point: its stable key, axis values and worker payload."""
+
+    index: int
+    key: str
+    #: axis name -> axis value (strings/numbers; what the result rows carry)
+    axes: Mapping[str, object]
+    #: the JSON-able work order handed to :func:`repro.campaign.execute.execute_cell`
+    payload: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative protocol × scenario parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        Campaign name; part of every cell's scenario name and seed domain.
+    protocols:
+        Registry names to sweep (see :func:`repro.core.registry.available_protocols`).
+    group_sizes:
+        Initial group sizes.
+    losses:
+        Loss levels (``loss_probability`` on uniform media, ``base_loss`` on
+        mobility radios).
+    schedule:
+        One churn-schedule spec dict shared by every non-mobility cell
+        (``None`` = churn-free establishment-only scenarios).
+    mobilities:
+        Named mobility axis: ``{name: mobility-spec-or-None}``.  The default
+        single ``"none"`` point keeps every cell schedule-driven.
+    engines:
+        Engine profiles (``instant`` / ``radio`` / ``wlan`` / ``fixed:<s>`` or
+        spec dicts, see :func:`repro.sim.specio.build_engine`).
+    adversaries:
+        Named adversary axis: ``{name: preset-or-spec-or-None}``; a plain
+        sequence of preset names is accepted as shorthand.
+    seed:
+        Master seed; every cell derives its own named child from it.
+    params:
+        Parameter sizes for the worker's :class:`~repro.core.base.SystemSetup`:
+        ``"test"`` (256-bit, fast) or ``"paper"`` (the paper's 1024-bit).
+    replications:
+        Independent repetitions of every grid point (distinct child seeds).
+    max_retries / min_group_size:
+        Forwarded to every cell's :class:`~repro.sim.scenarios.Scenario`.
+    """
+
+    name: str
+    protocols: Tuple[str, ...]
+    group_sizes: Tuple[int, ...] = (8,)
+    losses: Tuple[float, ...] = (0.0,)
+    schedule: Optional[Mapping] = None
+    mobilities: Tuple[Tuple[str, Optional[Mapping]], ...] = (("none", None),)
+    engines: Tuple[object, ...] = ("instant",)
+    adversaries: Tuple[Tuple[str, object], ...] = (("none", None),)
+    seed: object = 0
+    params: str = "test"
+    replications: int = 1
+    max_retries: int = 10
+    min_group_size: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("a campaign needs a name")
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        if not self.protocols:
+            raise ParameterError("a campaign needs at least one protocol")
+        object.__setattr__(self, "group_sizes", tuple(int(n) for n in self.group_sizes))
+        if not self.group_sizes:
+            raise ParameterError("a campaign needs at least one group size")
+        object.__setattr__(self, "losses", tuple(float(l) for l in self.losses))
+        if not self.losses:
+            raise ParameterError("a campaign needs at least one loss level")
+        object.__setattr__(
+            self,
+            "mobilities",
+            _named_axis(self.mobilities, default_name="none", what="mobilities"),
+        )
+        object.__setattr__(self, "engines", tuple(self.engines))
+        if not self.engines:
+            raise ParameterError("a campaign needs at least one engine profile")
+        object.__setattr__(
+            self,
+            "adversaries",
+            _named_axis(
+                self.adversaries,
+                default_name="none",
+                what="adversaries",
+                string_shorthand=True,
+            ),
+        )
+        if self.params not in ("test", "paper"):
+            raise ParameterError(f"params must be 'test' or 'paper', got {self.params!r}")
+        if self.replications < 1:
+            raise ParameterError("replications must be at least 1")
+        if self.schedule is not None and any(
+            spec is not None for _, spec in self.mobilities
+        ):
+            raise ParameterError(
+                "a campaign sweeps either a churn schedule or mobility models, "
+                "not both (a scenario is driven by exactly one of them)"
+            )
+
+    # ------------------------------------------------------------- round trip
+    @classmethod
+    def from_dict(cls, spec: Mapping) -> "CampaignSpec":
+        """Build a spec from its JSON dict form (the CLI's input format)."""
+        from ..sim.specio import build_seed
+
+        spec = dict(spec)
+        unknown = set(spec) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ParameterError(f"unknown campaign spec keys: {sorted(unknown)}")
+        if "name" not in spec or "protocols" not in spec:
+            raise ParameterError("a campaign spec needs 'name' and 'protocols'")
+        if "seed" in spec:
+            spec["seed"] = build_seed(spec["seed"])
+        return cls(**spec)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON dict form (lossless inverse of :meth:`from_dict`)."""
+        from ..sim.specio import seed_to_spec
+
+        return {
+            "name": self.name,
+            "protocols": list(self.protocols),
+            "group_sizes": list(self.group_sizes),
+            "losses": list(self.losses),
+            "schedule": dict(self.schedule) if self.schedule is not None else None,
+            "mobilities": {name: spec for name, spec in self.mobilities},
+            "engines": list(self.engines),
+            "adversaries": {name: spec for name, spec in self.adversaries},
+            "seed": seed_to_spec(self.seed),
+            "params": self.params,
+            "replications": self.replications,
+            "max_retries": self.max_retries,
+            "min_group_size": self.min_group_size,
+        }
+
+    # -------------------------------------------------------------- expansion
+    def _master_rng(self) -> DeterministicRNG:
+        return DeterministicRNG(self.seed, label=f"campaign/{self.name}")
+
+    #: Axes that define a cell's *workload* (the churn/trajectory streams);
+    #: the rest — protocol, loss, engine, adversary — are treatments applied
+    #: over it and share the workload's seed for comparability.
+    WORKLOAD_AXES = ("group_size", "mobility", "rep")
+
+    @classmethod
+    def workload_key(cls, axes: Mapping[str, object]) -> str:
+        """The workload identity of a cell (its seed-derivation domain)."""
+        return "/".join(f"{name}={axes[name]}" for name in cls.WORKLOAD_AXES)
+
+    def cell_seed(self, workload: str) -> str:
+        """The derived scenario seed for one workload (hex child seed).
+
+        The derivation depends only on the master seed and the workload key,
+        so a cell keeps its seed when unrelated axis values are added or
+        removed — the property that makes content-hash caching sound — and
+        every treatment of the same workload replays identical streams.
+        """
+        return self._master_rng().derive_seed(f"workload/{workload}").hex()
+
+    @staticmethod
+    def engine_label(engine: object) -> str:
+        """The short axis label for an engine profile (dict specs get named).
+
+        This is the value the result rows carry in their ``engine`` column,
+        so scripts can locate the rows belonging to one ``engines`` entry.
+        """
+        if isinstance(engine, str):
+            return engine
+        if isinstance(engine, Mapping):
+            latency = engine.get("latency", "instant")
+            extras = "+".join(
+                f"{k}={v}" for k, v in sorted(engine.items()) if k != "latency"
+            )
+            return f"{latency}[{extras}]" if extras else str(latency)
+        raise ParameterError(f"engine axis entries must be strings or dicts, got {engine!r}")
+
+    @staticmethod
+    def _fold_loss(mobility_spec: Mapping, loss: float) -> Dict[str, object]:
+        """Apply the loss axis to a mobility spec (a ``base_loss`` floor).
+
+        The axis only ever *raises* the radio's loss ramp, so a mobility spec
+        with its own ``base_loss``/``edge_loss`` keeps them at loss level 0.
+        """
+        folded = dict(mobility_spec)
+        folded["base_loss"] = max(loss, float(folded.get("base_loss", 0.0)))
+        folded["edge_loss"] = max(loss, float(folded.get("edge_loss", 0.0)))
+        return folded
+
+    def cells(self) -> List[CampaignCell]:
+        """Expand the axes into the ordered cell list.
+
+        Order is the deterministic nested product — protocol, group size,
+        mobility, loss, engine, adversary, replication — but nothing about a
+        cell depends on its position: keys and seeds derive from axis values
+        alone.
+        """
+        cells: List[CampaignCell] = []
+        for protocol in self.protocols:
+            for size in self.group_sizes:
+                for mobility_name, mobility_spec in self.mobilities:
+                    for loss in self.losses:
+                        for engine in self.engines:
+                            engine_label = self.engine_label(engine)
+                            for adversary_name, adversary_spec in self.adversaries:
+                                for rep in range(self.replications):
+                                    cells.append(
+                                        self._cell(
+                                            index=len(cells),
+                                            protocol=protocol,
+                                            size=size,
+                                            mobility_name=mobility_name,
+                                            mobility_spec=mobility_spec,
+                                            loss=loss,
+                                            engine=engine,
+                                            engine_label=engine_label,
+                                            adversary_name=adversary_name,
+                                            adversary_spec=adversary_spec,
+                                            rep=rep,
+                                        )
+                                    )
+        return cells
+
+    def _cell(
+        self,
+        *,
+        index: int,
+        protocol: str,
+        size: int,
+        mobility_name: str,
+        mobility_spec: Optional[Mapping],
+        loss: float,
+        engine: object,
+        engine_label: str,
+        adversary_name: str,
+        adversary_spec: object,
+        rep: int,
+    ) -> CampaignCell:
+        axes: Dict[str, object] = {
+            "protocol": protocol,
+            "group_size": size,
+            "mobility": mobility_name,
+            "loss": loss,
+            "engine": engine_label,
+            "adversary": adversary_name,
+            "rep": rep,
+        }
+        key = "/".join(f"{name}={axes[name]}" for name in AXIS_NAMES)
+        workload = self.workload_key(axes)
+        # Name and seed are per-workload, not per-cell: the scenario name
+        # labels every RNG stream, so cells comparing treatments over the
+        # same workload must share both to replay identical streams.
+        scenario: Dict[str, object] = {
+            "name": f"{self.name}/{workload}",
+            "initial_size": size,
+            "seed": self.cell_seed(workload),
+            "max_retries": self.max_retries,
+            "min_group_size": self.min_group_size,
+        }
+        if mobility_spec is not None:
+            scenario["mobility"] = self._fold_loss(mobility_spec, loss)
+        else:
+            if self.schedule is not None:
+                scenario["schedule"] = dict(self.schedule)
+            if loss:
+                scenario["loss_probability"] = loss
+        if adversary_spec is not None:
+            scenario["adversary"] = adversary_spec
+        payload: Dict[str, object] = {
+            "campaign": self.name,
+            "cell": key,
+            "axes": axes,
+            "protocol": protocol,
+            "params": self.params,
+            "engine": engine,
+            "scenario": scenario,
+        }
+        return CampaignCell(index=index, key=key, axes=axes, payload=payload)

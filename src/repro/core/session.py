@@ -65,7 +65,9 @@ class GroupSession:
     ) -> None:
         self.setup = setup
         self.state = state
-        self.device = device or DeviceProfile()
+        # `is None`, not truthiness: a caller-supplied profile must never be
+        # silently swapped for the default just because it tests falsy.
+        self.device = device if device is not None else DeviceProfile()
         self.protocol = self._resolve(setup, protocol)
         self.engine = engine
         self.history: List[ProtocolResult] = []

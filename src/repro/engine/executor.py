@@ -116,7 +116,9 @@ class MachineExecutor:
     ) -> None:
         self.machines: List[PartyMachine] = list(machines)
         self.medium = medium
-        self.config = config or EngineConfig()
+        # `is None`, not truthiness: a caller-supplied config must never be
+        # silently swapped for the default just because it tests falsy.
+        self.config = config if config is not None else EngineConfig()
         self.latency = self.config.latency
         self.adversary = self.config.adversary
         if self.adversary is not None:

@@ -127,7 +127,9 @@ class BroadcastMedium:
         self.loss_probability = loss_probability
         self.max_retries = max_retries
         self.link_model = link_model if link_model is not None else UniformLink(loss_probability)
-        self._rng = rng or DeterministicRNG("medium", label="medium")
+        # `is None`, not truthiness: a caller-supplied RNG must never be
+        # silently swapped for the default just because it tests falsy.
+        self._rng = rng if rng is not None else DeterministicRNG("medium", label="medium")
         self._nodes: Dict[str, Node] = {}
         self.transcript: List[Message] = []
         self.receipts: List[DeliveryReceipt] = []

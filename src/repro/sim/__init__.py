@@ -30,7 +30,10 @@ per-oracle verdicts next to the energy numbers.
 
 The module is also runnable: ``python -m repro.sim spec.json`` executes a
 JSON scenario spec (optionally with ``--adversary``/``--engine`` profiles)
-and emits the comparison table/CSV/JSON without writing a script.
+and emits the comparison table/CSV/JSON without writing a script.  The spec
+format itself lives in :mod:`repro.sim.specio` (``build_scenario`` and the
+``*_to_spec`` inverses) — the serialization boundary the
+:mod:`repro.campaign` process-pool sweeps hand their cells across.
 
 Quickstart::
 
@@ -59,6 +62,7 @@ from .report import (
     comparison_table,
 )
 from .runner import ScenarioRunner
+from .specio import build_scenario, scenario_to_spec
 from .scenarios import (
     BurstPartitions,
     ChurnSchedule,
@@ -82,7 +86,9 @@ __all__ = [
     "ScenarioRunner",
     "ScheduledEvent",
     "TraceReplay",
+    "build_scenario",
     "comparison_csv",
     "comparison_json",
     "comparison_table",
+    "scenario_to_spec",
 ]

@@ -13,8 +13,9 @@ The spec is a JSON object describing one :class:`~repro.sim.scenarios.Scenario`:
     }
 
 ``schedule.kind`` is one of ``poisson`` / ``bursts`` / ``merges`` (remaining
-keys are passed to the matching schedule class), or the key may be omitted
-for a churn-free scenario.  A ``mobility`` object replaces ``schedule`` for
+keys are passed to the matching schedule class) or ``trace`` (an explicit
+``events`` list of ``{"kind": "join"|"leave"|"merge"|"partition", ...}``
+entries), or the key may be omitted for a churn-free scenario.  A ``mobility`` object replaces ``schedule`` for
 mobility-driven runs::
 
     "mobility": {"model": "random-waypoint", "min_speed": 2.0,
@@ -39,119 +40,17 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..adversary.config import ATTACKER_PRESETS, AdversaryConfig
+from ..adversary.config import ATTACKER_PRESETS
 from ..core.base import SystemSetup
 from ..core.registry import available_protocols
-from ..energy.transceiver import RADIO_100KBPS, WLAN_SPECTRUM24
-from ..engine.executor import EngineConfig
-from ..engine.latency import FixedLatency, TransceiverLatency
-from ..exceptions import ParameterError, ReproError
-from ..mobility.config import MobilityConfig
-from ..mobility.field import Area
-from ..mobility.models import RandomWaypoint, ReferencePointGroup, StaticGrid
+from ..exceptions import ReproError
 from .report import comparison_csv, comparison_json, comparison_table
 from .runner import ScenarioRunner
-from .scenarios import (
-    BurstPartitions,
-    ChurnSchedule,
-    PeriodicMerges,
-    PoissonChurn,
-    Scenario,
-)
+from .specio import build_engine, build_scenario
 
-_SCHEDULES = {
-    "poisson": PoissonChurn,
-    "bursts": BurstPartitions,
-    "merges": PeriodicMerges,
-}
-
-_MOBILITY_MODELS = {
-    "static-grid": StaticGrid,
-    "random-waypoint": RandomWaypoint,
-    "rpgm": ReferencePointGroup,
-}
-
-
-def _build_schedule(spec: Optional[dict]) -> Optional[ChurnSchedule]:
-    if spec is None:
-        return None
-    spec = dict(spec)
-    kind = spec.pop("kind", None)
-    if kind not in _SCHEDULES:
-        raise ParameterError(
-            f"schedule.kind must be one of {sorted(_SCHEDULES)}, got {kind!r}"
-        )
-    return _SCHEDULES[kind](**spec)
-
-
-def _build_mobility(spec: Optional[dict]) -> Optional[MobilityConfig]:
-    if spec is None:
-        return None
-    spec = dict(spec)
-    model_name = spec.pop("model", "random-waypoint")
-    if model_name not in _MOBILITY_MODELS:
-        raise ParameterError(
-            f"mobility.model must be one of {sorted(_MOBILITY_MODELS)}, got {model_name!r}"
-        )
-    model_cls = _MOBILITY_MODELS[model_name]
-    model_fields = {
-        name: spec.pop(name)
-        for name in list(spec)
-        if name in getattr(model_cls, "__dataclass_fields__", {})
-    }
-    area = spec.pop("area", [500.0, 500.0])
-    return MobilityConfig(
-        model=model_cls(**model_fields),
-        area=Area(float(area[0]), float(area[1])),
-        **spec,
-    )
-
-
-def _build_adversary(spec: object) -> Optional[AdversaryConfig]:
-    if spec is None:
-        return None
-    if isinstance(spec, AdversaryConfig):
-        return spec
-    if isinstance(spec, str):
-        text = spec.strip()
-        if text.startswith("{"):
-            return AdversaryConfig(**json.loads(text))
-        return AdversaryConfig.preset(text)
-    if isinstance(spec, dict):
-        return AdversaryConfig(**spec)
-    raise ParameterError(f"cannot build an adversary from {spec!r}")
-
-
-def _build_engine(text: Optional[str]) -> Optional[EngineConfig]:
-    if text is None or text == "instant":
-        return None
-    if text == "radio":
-        return EngineConfig(latency=TransceiverLatency(RADIO_100KBPS))
-    if text == "wlan":
-        return EngineConfig(latency=TransceiverLatency(WLAN_SPECTRUM24))
-    if text.startswith("fixed:"):
-        return EngineConfig(latency=FixedLatency(float(text.split(":", 1)[1])))
-    raise ParameterError(
-        f"unknown engine profile {text!r}; use instant, radio, wlan or fixed:<seconds>"
-    )
-
-
-def build_scenario(spec: dict, *, adversary_override: Optional[str] = None) -> Scenario:
-    """Turn a parsed JSON spec into a :class:`Scenario`."""
-    spec = dict(spec)
-    adversary_spec = spec.pop("adversary", None)
-    if adversary_override is not None:
-        adversary_spec = adversary_override
-    return Scenario(
-        name=spec.pop("name", "cli-scenario"),
-        initial_size=int(spec.pop("initial_size", 8)),
-        schedule=_build_schedule(spec.pop("schedule", None)),
-        mobility=_build_mobility(spec.pop("mobility", None)),
-        adversary=_build_adversary(adversary_spec),
-        **spec,
-    )
+__all__ = ["build_scenario", "main"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -197,7 +96,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.spec, encoding="utf-8") as handle:
                 spec = json.load(handle)
         scenario = build_scenario(spec, adversary_override=args.adversary)
-        engine = _build_engine(args.engine)
+        engine = build_engine(args.engine)
     except (ReproError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
         # TypeError/ValueError cover mistyped spec keys reaching a dataclass
         # constructor — a one-character typo should print, not traceback.

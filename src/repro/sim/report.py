@@ -140,6 +140,10 @@ class ScenarioReport:
     device: str = ""
     #: one-line description of the attacker suite ("" = honest runs)
     adversary: str = ""
+    #: digest of the ordered chain of agreed keys (see
+    #: :meth:`~repro.sim.runner.ScenarioRunner._key_fingerprint`); two runs
+    #: match iff they agreed on the same keys in the same order
+    key_fingerprint: str = ""
 
     # ----------------------------------------------------------- aggregates
     @property
@@ -387,6 +391,7 @@ class ScenarioReport:
             "device": self.device,
             "adversary": self.adversary,
             "final_size": self.final_size,
+            "key_fingerprint": self.key_fingerprint,
             "totals": {
                 "energy_j": self.total_energy_j,
                 "messages": self.total_messages,

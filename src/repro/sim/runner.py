@@ -35,6 +35,7 @@ scenario ends there.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
@@ -97,7 +98,10 @@ class ScenarioRunner:
         engine: Optional[EngineConfig] = None,
     ) -> None:
         self.setup = setup
-        self.device = device or DeviceProfile()
+        # `is None`, not truthiness: a caller-supplied profile must never be
+        # silently swapped for the default just because it tests falsy (the
+        # PR-1 `medium or BroadcastMedium()` bug class).
+        self.device = device if device is not None else DeviceProfile()
         self.check_agreement = check_agreement
         self.engine = engine
 
@@ -136,7 +140,10 @@ class ScenarioRunner:
         engine = self.engine
         if suite is not None:
             suite.attach(medium)
-            engine = replace(self.engine or EngineConfig(), adversary=suite)
+            engine = replace(
+                self.engine if self.engine is not None else EngineConfig(),
+                adversary=suite,
+            )
         records: List[EventRecord] = []
         #: distinct keys the group has agreed on so far, oldest first
         key_history: List[int] = []
@@ -211,6 +218,7 @@ class ScenarioRunner:
             final_size=state.size if state is not None else 0,
             device=f"{self.device.cpu.name} + {self.device.transceiver.name}",
             adversary=suite.describe() if suite is not None else "",
+            key_fingerprint=self._key_fingerprint(key_history),
         )
 
     def run_all(
@@ -335,6 +343,20 @@ class ScenarioRunner:
         return record, None
 
     # --------------------------------------------------------------- helpers
+    @staticmethod
+    def _key_fingerprint(key_history: List[int]) -> str:
+        """A short digest of the ordered chain of keys the group agreed on.
+
+        Two runs agreed on the *same keys in the same order* iff their
+        fingerprints match — which is how the campaign determinism harness
+        pins serial and parallel executions bit-identical without ever
+        exporting an actual group key.
+        """
+        digest = hashlib.sha256(
+            b"|".join(str(key).encode("ascii") for key in key_history)
+        )
+        return digest.hexdigest()[:16]
+
     def _energy_snapshot(self, state: GroupState) -> Dict[str, Tuple[int, float]]:
         """Per-member (recorder identity, Joules so far) before an event."""
         return {

@@ -1,0 +1,552 @@
+"""The campaign subsystem: grid expansion, sharded execution, determinism.
+
+The headline property this file pins is the one the whole subsystem is built
+around: **a campaign's output is bit-identical no matter how it is executed**
+— serially, sharded over a process pool, or replayed from the result cache.
+``TestDeterminismHarness`` asserts it for a grid covering every registry
+protocol (keys via the report fingerprint, energy ledgers, virtual latency,
+security verdicts); ``TestFuzzedInvariants`` asserts the structural
+invariants (key uniqueness, energy non-negativity, row conservation) over
+seeded random specs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import random
+
+import pytest
+
+from repro.campaign import (
+    AXIS_NAMES,
+    CampaignSpec,
+    NONDETERMINISTIC_FIELDS,
+    execute_cell,
+    payload_hash,
+    run_campaign,
+)
+from repro.campaign.__main__ import main as campaign_main
+from repro.core.registry import available_protocols
+from repro.exceptions import ParameterError
+
+ALL_PROTOCOLS = tuple(available_protocols())
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    fields = dict(
+        name="unit",
+        protocols=("proposed-gka", "bd-unauthenticated"),
+        group_sizes=(5,),
+        losses=(0.0,),
+        schedule={"kind": "poisson", "length": 2},
+        seed=11,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Spec expansion
+# ---------------------------------------------------------------------------
+
+class TestSpecExpansion:
+    def test_cells_are_the_full_cartesian_product_in_grid_order(self):
+        spec = small_spec(
+            group_sizes=(5, 8),
+            losses=(0.0, 0.1),
+            adversaries={"none": None, "inject": "inject"},
+            replications=2,
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2 * 2 * 2
+        assert [cell.index for cell in cells] == list(range(len(cells)))
+        # Grid order: protocol outermost, replication innermost.
+        assert cells[0].axes["protocol"] == "proposed-gka"
+        assert cells[0].axes["rep"] == 0 and cells[1].axes["rep"] == 1
+        assert cells[-1].axes["protocol"] == "bd-unauthenticated"
+
+    def test_cell_keys_are_unique_and_name_every_axis(self):
+        spec = small_spec(losses=(0.0, 0.1, 0.2), replications=2)
+        keys = [cell.key for cell in spec.cells()]
+        assert len(set(keys)) == len(keys)
+        for key in keys:
+            for axis in AXIS_NAMES:
+                assert f"{axis}=" in key
+
+    def test_cell_seeds_depend_only_on_master_seed_and_workload(self):
+        spec = small_spec(losses=(0.0, 0.1))
+        wider = small_spec(losses=(0.0, 0.05, 0.1), protocols=ALL_PROTOCOLS)
+        seeds = {cell.key: cell.payload["scenario"]["seed"] for cell in spec.cells()}
+        wider_seeds = {
+            cell.key: cell.payload["scenario"]["seed"] for cell in wider.cells()
+        }
+        # Shared grid points keep their seeds when the grid grows...
+        for key, seed in seeds.items():
+            assert wider_seeds[key] == seed
+        # ...and a different master seed reseeds every cell.
+        reseeded = {
+            cell.key: cell.payload["scenario"]["seed"]
+            for cell in small_spec(losses=(0.0, 0.1), seed=12).cells()
+        }
+        for key, seed in seeds.items():
+            assert reseeded[key] != seed
+
+    def test_treatment_axes_share_the_workload_seed_and_scenario_name(self):
+        # Protocols, losses, engines and adversaries are *treatments* over
+        # one workload: they must replay identical churn/trajectory streams,
+        # which requires an identical scenario seed AND name (the RNG label).
+        spec = small_spec(
+            losses=(0.0, 0.1),
+            adversaries={"none": None, "inject": "inject"},
+            replications=2,
+        )
+        by_workload = {}
+        for cell in spec.cells():
+            workload = CampaignSpec.workload_key(cell.axes)
+            scenario = cell.payload["scenario"]
+            by_workload.setdefault(workload, set()).add(
+                (scenario["seed"], scenario["name"])
+            )
+        assert len(by_workload) == 2  # rep=0 and rep=1
+        for streams in by_workload.values():
+            assert len(streams) == 1  # every treatment shares seed + name
+        # Different replications are genuinely different workloads.
+        assert len({next(iter(s)) for s in by_workload.values()}) == 2
+
+    def test_payloads_are_json_round_trippable(self):
+        spec = small_spec(
+            mobilities={
+                "rwp": {
+                    "model": "random-waypoint",
+                    "tx_range": 150.0,
+                    "duration": 10.0,
+                    "edge_loss": 0.1,
+                }
+            },
+            schedule=None,
+            losses=(0.05,),
+        )
+        for cell in spec.cells():
+            assert json.loads(json.dumps(cell.payload)) == cell.payload
+
+    def test_loss_axis_becomes_base_loss_floor_on_mobility_cells(self):
+        spec = small_spec(
+            schedule=None,
+            mobilities={
+                "rwp": {
+                    "model": "random-waypoint",
+                    "tx_range": 150.0,
+                    "duration": 10.0,
+                    "base_loss": 0.02,
+                    "edge_loss": 0.1,
+                }
+            },
+            losses=(0.0, 0.05, 0.2),
+        )
+        by_loss = {
+            cell.axes["loss"]: cell.payload["scenario"]["mobility"]
+            for cell in spec.cells()
+            if cell.axes["protocol"] == "proposed-gka"
+        }
+        assert by_loss[0.0]["base_loss"] == 0.02 and by_loss[0.0]["edge_loss"] == 0.1
+        assert by_loss[0.05]["base_loss"] == 0.05 and by_loss[0.05]["edge_loss"] == 0.1
+        assert by_loss[0.2]["base_loss"] == 0.2 and by_loss[0.2]["edge_loss"] == 0.2
+
+    def test_dict_round_trip(self):
+        spec = small_spec(adversaries={"none": None, "mitm": "mitm"}, replications=3)
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.cells() == spec.cells()
+
+    def test_dict_round_trip_preserves_bytes_seeds(self):
+        # A bytes seed must survive to_dict -> JSON -> from_dict losslessly
+        # (a bare hex string would derive entirely different cell seeds).
+        spec = small_spec(seed=b"\xab\xcd")
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.seed == spec.seed
+        assert rebuilt.cells() == spec.cells()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError, match="at least one protocol"):
+            small_spec(protocols=())
+        with pytest.raises(ParameterError, match="not both"):
+            small_spec(
+                mobilities={
+                    "rwp": {"model": "random-waypoint", "tx_range": 100.0, "duration": 5.0}
+                }
+            )
+        with pytest.raises(ParameterError, match="params"):
+            small_spec(params="huge")
+        with pytest.raises(ParameterError, match="replications"):
+            small_spec(replications=0)
+        with pytest.raises(ParameterError, match="unknown campaign spec keys"):
+            CampaignSpec.from_dict({"name": "x", "protocols": ["bd"], "typo": 1})
+        with pytest.raises(ParameterError, match="names must be unique"):
+            small_spec(adversaries=[("a", None), ("a", "inject")])
+        # Bare-name shorthand is an adversary-preset convenience only; a
+        # mobility axis entry must be a (name, spec) pair.
+        with pytest.raises(ParameterError, match=r"\(name, spec\) pairs"):
+            small_spec(schedule=None, mobilities=("random-waypoint",))
+
+
+# ---------------------------------------------------------------------------
+# The determinism harness (tentpole acceptance)
+# ---------------------------------------------------------------------------
+
+class TestDeterminismHarness:
+    """workers=N output must be bit-identical to workers=1, protocol by protocol."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        # Every registry protocol, a lossy medium (retry streams exercised)
+        # and an adversary column (security verdicts exercised).
+        return CampaignSpec(
+            name="determinism",
+            protocols=ALL_PROTOCOLS,
+            group_sizes=(5,),
+            losses=(0.05,),
+            schedule={"kind": "poisson", "length": 2},
+            adversaries={"none": None, "inject": "inject"},
+            seed="determinism-harness",
+        )
+
+    @pytest.fixture(scope="class")
+    def serial(self, grid):
+        return run_campaign(grid, workers=1)
+
+    @pytest.fixture(scope="class")
+    def parallel(self, grid):
+        return run_campaign(grid, workers=2)
+
+    def test_grid_covers_every_registry_protocol(self, serial):
+        assert sorted({row["protocol"] for row in serial.rows}) == sorted(ALL_PROTOCOLS)
+        assert len(serial.rows) == len(ALL_PROTOCOLS) * 2
+
+    def test_parallel_rows_bit_identical_to_serial(self, serial, parallel):
+        assert serial.deterministic_rows() == parallel.deterministic_rows()
+
+    def test_key_chains_pinned(self, serial, parallel):
+        # The fingerprint digests the ordered chain of agreed keys; honest
+        # cells must have agreed on at least one.
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            assert row_s["key_fingerprint"] == row_p["key_fingerprint"]
+            if row_s["adversary"] == "none":
+                assert row_s["agreed"] and row_s["key_fingerprint"]
+
+    def test_energy_ledgers_pinned_and_non_negative(self, serial, parallel):
+        for row_s, row_p in zip(serial.rows, parallel.rows):
+            assert row_s["energy_j"] == row_p["energy_j"]
+            # An abort at the establishment step leaves no surviving member
+            # ledger (zero); every completed step must have cost something.
+            if row_s["aborted"]:
+                assert row_s["energy_j"] >= 0.0
+            else:
+                assert row_s["energy_j"] > 0.0
+
+    def test_security_verdicts_pinned(self, serial):
+        verdicts = {
+            (row["protocol"], row["adversary"]): row["security_verdict"]
+            for row in serial.rows
+        }
+        for protocol in ALL_PROTOCOLS:
+            assert verdicts[(protocol, "none")] == "clean"
+        # The repository's headline claims, now via the campaign path.
+        assert verdicts[("bd-unauthenticated", "inject")] == "broken"
+        assert verdicts[("proposed-gka", "inject")] == "detected"
+
+    def test_no_failures_and_every_cell_reported(self, grid, serial):
+        assert serial.failures() == []
+        assert [row["cell"] for row in serial.rows] == [c.key for c in grid.cells()]
+
+    def test_virtual_latency_pinned_under_engine_models(self):
+        # A separate latency-mode grid: sim_latency_s must match bit-for-bit
+        # between serial and sharded execution too.
+        spec = CampaignSpec(
+            name="determinism-latency",
+            protocols=("proposed-gka", "bd-unauthenticated", "ssn"),
+            group_sizes=(5,),
+            losses=(0.1,),
+            schedule={"kind": "poisson", "length": 2},
+            engines=("fixed:0.01",),
+            seed="latency-harness",
+        )
+        serial = run_campaign(spec, workers=1)
+        parallel = run_campaign(spec, workers=2)
+        assert serial.deterministic_rows() == parallel.deterministic_rows()
+        assert all(row["sim_latency_s"] > 0.0 for row in serial.rows)
+
+    def test_rerunning_the_same_spec_is_reproducible(self, grid, serial):
+        again = run_campaign(grid, workers=1)
+        assert again.deterministic_rows() == serial.deterministic_rows()
+
+
+# ---------------------------------------------------------------------------
+# Randomized invariants (fuzz)
+# ---------------------------------------------------------------------------
+
+def _random_spec(fuzz: random.Random, tag: int) -> CampaignSpec:
+    schedule_kind = fuzz.choice(["poisson", "bursts", "merges", None])
+    if schedule_kind == "poisson":
+        schedule = {"kind": "poisson", "length": fuzz.randint(1, 3)}
+    elif schedule_kind == "bursts":
+        schedule = {"kind": "bursts", "bursts": fuzz.randint(1, 2), "burst_size": 1}
+    elif schedule_kind == "merges":
+        schedule = {"kind": "merges", "merges": 1, "merge_size": 2}
+    else:
+        schedule = None
+    return CampaignSpec(
+        name=f"fuzz-{tag}",
+        protocols=tuple(
+            fuzz.sample(ALL_PROTOCOLS, fuzz.randint(1, 3)),
+        ),
+        group_sizes=tuple(fuzz.sample([4, 5, 6, 8], fuzz.randint(1, 2))),
+        losses=tuple(fuzz.sample([0.0, 0.05, 0.1], fuzz.randint(1, 2))),
+        schedule=schedule,
+        adversaries=fuzz.choice([None, ["eavesdrop"], ["inject"]]),
+        replications=fuzz.randint(1, 2),
+        seed=fuzz.randint(0, 2**32),
+    )
+
+
+class TestFuzzedInvariants:
+    @pytest.mark.parametrize("tag", [0, 1, 2])
+    def test_invariants_hold_for_seeded_random_specs(self, tag):
+        fuzz = random.Random(2026_07_00 + tag)
+        spec = _random_spec(fuzz, tag)
+        cells = spec.cells()
+
+        # Per-cell key consistency: unique keys, axes reconstructible from
+        # them, expansion idempotent.
+        keys = [cell.key for cell in cells]
+        assert len(set(keys)) == len(keys)
+        assert spec.cells() == cells
+        for cell in cells:
+            parsed = dict(part.split("=", 1) for part in cell.key.split("/"))
+            assert parsed["protocol"] == cell.axes["protocol"]
+            assert parsed["loss"] == str(cell.axes["loss"])
+            workload = CampaignSpec.workload_key(cell.axes)
+            assert cell.payload["scenario"]["seed"] == spec.cell_seed(workload)
+
+        result = run_campaign(spec, workers=2 if tag == 0 else 1)
+
+        # Report-row <-> cell-count conservation.
+        assert len(result.rows) == len(cells)
+        assert [row["cell"] for row in result.rows] == keys
+        assert result.failures() == []
+
+        # Non-negative energy ledgers (strictly positive unless an attacked
+        # establishment aborted before any member ledger survived).
+        for row in result.rows:
+            assert row["energy_j"] >= 0.0
+            if not row["aborted"]:
+                assert row["energy_j"] > 0.0
+            assert row["relay_energy_j"] >= 0.0
+            assert row["bits"] >= 0 and row["bits_with_retries"] >= row["bits"]
+
+
+# ---------------------------------------------------------------------------
+# Caching
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_second_run_replays_everything(self, tmp_path):
+        spec = small_spec()
+        cold = run_campaign(spec, cache_dir=str(tmp_path))
+        warm = run_campaign(spec, cache_dir=str(tmp_path))
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert warm.deterministic_rows() == cold.deterministic_rows()
+        assert all(row["cached"] for row in warm.rows)
+
+    def test_editing_the_spec_recomputes_only_changed_cells(self, tmp_path):
+        run_campaign(small_spec(), cache_dir=str(tmp_path))
+        edited = small_spec(losses=(0.0, 0.1))  # one new loss level
+        rerun = run_campaign(edited, cache_dir=str(tmp_path))
+        assert rerun.cache_hits == 2  # the loss=0.0 cells replay
+        assert rerun.cache_misses == 2  # only the loss=0.1 cells compute
+        # Replayed and fresh rows interleave back into grid order.
+        assert [row["cell"] for row in rerun.rows] == [c.key for c in edited.cells()]
+
+    def test_payload_hash_is_key_order_independent(self):
+        a = {"x": 1, "nested": {"b": 2, "a": 3}}
+        b = {"nested": {"a": 3, "b": 2}, "x": 1}
+        assert payload_hash(a) == payload_hash(b)
+        assert payload_hash(a) != payload_hash({"x": 2, "nested": {"b": 2, "a": 3}})
+
+    def test_corrupt_cache_entries_recompute(self, tmp_path):
+        spec = small_spec()
+        run_campaign(spec, cache_dir=str(tmp_path))
+        for name in os.listdir(tmp_path):
+            (tmp_path / name).write_text("{not json")
+        rerun = run_campaign(spec, cache_dir=str(tmp_path))
+        assert rerun.cache_misses == 2 and rerun.failures() == []
+
+    def test_error_rows_are_not_cached(self, tmp_path):
+        spec = small_spec(protocols=("no-such-protocol",))
+        first = run_campaign(spec, cache_dir=str(tmp_path))
+        assert len(first.failures()) == 1
+        rerun = run_campaign(spec, cache_dir=str(tmp_path))
+        assert rerun.cache_hits == 0  # the failure was recomputed, not replayed
+
+
+# ---------------------------------------------------------------------------
+# Crash isolation and aggregation
+# ---------------------------------------------------------------------------
+
+class TestExecution:
+    def test_bad_cells_fail_in_isolation(self):
+        spec = small_spec(protocols=("proposed-gka", "no-such-protocol", "ssn"))
+        result = run_campaign(spec, workers=2)
+        assert len(result.rows) == 3
+        failures = result.failures()
+        assert len(failures) == 1
+        assert failures[0]["protocol"] == "no-such-protocol"
+        assert "unknown protocol" in failures[0]["error"]
+        assert {row["protocol"] for row in result.ok_rows()} == {"proposed-gka", "ssn"}
+
+    def test_execute_cell_never_raises(self):
+        row = execute_cell({"campaign": "x", "cell": "k", "axes": {}, "scenario": {}})
+        assert row["error"]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ParameterError, match="workers"):
+            run_campaign(small_spec(), workers=0)
+
+    def test_groupby_and_pivot(self):
+        spec = small_spec(losses=(0.0, 0.1))
+        result = run_campaign(spec)
+        by_protocol = result.groupby(("protocol",), "energy_j")
+        assert set(by_protocol) == {("proposed-gka",), ("bd-unauthenticated",)}
+        table = result.pivot("protocol", "loss", "energy_j")
+        assert set(table["proposed-gka"]) == {0.0, 0.1}
+        rendered = result.pivot_table("protocol", "loss", "energy_j")
+        assert "proposed-gka" in rendered and "0.1" in rendered
+        with pytest.raises(ParameterError, match="sequence"):
+            result.groupby("protocol", "energy_j")
+
+    def test_exports(self, tmp_path):
+        result = run_campaign(small_spec())
+        csv_path = tmp_path / "rows.csv"
+        rows = list(csv.DictReader(io.StringIO(result.to_csv(str(csv_path)))))
+        assert [row["protocol"] for row in rows] == ["proposed-gka", "bd-unauthenticated"]
+        assert csv_path.exists()
+        payload = json.loads(result.to_json(str(tmp_path / "result.json")))
+        assert payload["cells"] == 2 and payload["failures"] == 0
+        assert payload["spec"]["name"] == "unit"
+
+
+# ---------------------------------------------------------------------------
+# The attack matrix rides the campaign runner
+# ---------------------------------------------------------------------------
+
+class TestAttackMatrixParity:
+    def test_campaign_path_matches_the_serial_fallback_exactly(self, small_setup):
+        # A scenario exercising the fields the campaign cells must pin
+        # verbatim (non-default member_prefix, trace schedule, string seed).
+        from repro.adversary import AdversaryConfig, run_attack_matrix
+        from repro.energy.accounting import DeviceProfile
+        from repro.network.events import LeaveEvent
+        from repro.pki import Identity
+        from repro.sim import Scenario, TraceReplay
+
+        scenario = Scenario(
+            name="parity",
+            initial_size=5,
+            member_prefix="node",
+            schedule=TraceReplay(events=(LeaveEvent(leaving=Identity("node-001")),)),
+            seed="parity",
+        )
+        attackers = {"baseline": None, "inject": AdversaryConfig.preset("inject")}
+        kwargs = dict(
+            protocols=["proposed-gka", "bd-unauthenticated"],
+            attackers=attackers,
+            scenario=scenario,
+        )
+        via_campaign = run_attack_matrix(small_setup, workers=2, **kwargs)
+        # A non-None device is not spec-serializable and forces the serial
+        # in-process loop — the reference behaviour.
+        via_serial = run_attack_matrix(small_setup, device=DeviceProfile(), **kwargs)
+        assert [
+            (o.protocol, o.attacker, o.verdict, o.attacks, o.detail)
+            for o in via_campaign.outcomes
+        ] == [
+            (o.protocol, o.attacker, o.verdict, o.attacks, o.detail)
+            for o in via_serial.outcomes
+        ]
+
+    def test_non_canonical_setup_falls_back_to_serial(self):
+        # Workers rebuild the setup by name, so a setup that is not one of
+        # the canonical parameter sets must never be silently substituted.
+        from repro.adversary import run_attack_matrix
+        from repro.core import SystemSetup
+
+        custom = SystemSetup.from_param_sets("test-256", "gq-test-256", hash_bits=128)
+        matrix = run_attack_matrix(
+            custom, protocols=["bd-unauthenticated"], attackers={"baseline": None}
+        )
+        assert matrix.verdict("bd-unauthenticated", "baseline") == "clean"
+
+
+# ---------------------------------------------------------------------------
+# The python -m repro.campaign CLI
+# ---------------------------------------------------------------------------
+
+class TestCampaignCli:
+    @staticmethod
+    def _spec_file(tmp_path, **overrides):
+        spec = {
+            "name": "cli",
+            "protocols": ["proposed-gka", "bd-unauthenticated"],
+            "group_sizes": [5],
+            "schedule": {"kind": "poisson", "length": 2},
+            "seed": 3,
+        }
+        spec.update(overrides)
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_runs_with_exports_and_pivot(self, tmp_path, capsys):
+        csv_path = tmp_path / "rows.csv"
+        code = campaign_main(
+            [
+                self._spec_file(tmp_path),
+                "--workers",
+                "2",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(tmp_path / "result.json"),
+                "--pivot",
+                "protocol:loss:energy_j",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign : cli" in out and "energy_j (mean)" in out
+        assert csv_path.exists()
+
+    def test_cell_failures_exit_nonzero(self, tmp_path, capsys):
+        code = campaign_main(
+            [self._spec_file(tmp_path, protocols=["proposed-gka", "nope"]), "--quiet"]
+        )
+        assert code == 1
+
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert campaign_main(["/does/not/exist.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        assert campaign_main([str(bad)]) == 2
+        bad.write_text(json.dumps({"name": "x"}))
+        assert campaign_main([str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_pivot_and_workers_exit_2(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        assert campaign_main([spec, "--pivot", "protocol-loss"]) == 2
+        assert campaign_main([spec, "--workers", "0"]) == 2

@@ -1,0 +1,82 @@
+"""Regression tests for the ``x or Default()`` falsy-default bug class.
+
+PR 1 fixed ``medium or BroadcastMedium()`` silently discarding an *empty*
+shared medium (empty == falsy == replaced by a fresh default, losing the
+cross-protocol traffic ledger).  This file audits the remaining
+caller-supplied defaults across the sim/engine/network layers: every one
+must test ``is None``, never truthiness, so a falsy-but-real instance is
+respected.  Each test passes a subclass that is explicitly falsy and asserts
+the supplied object is actually used.
+"""
+
+from __future__ import annotations
+
+from repro.core import SystemSetup, create_protocol
+from repro.core.session import GroupSession
+from repro.energy.accounting import DeviceProfile
+from repro.engine.executor import EngineConfig, MachineExecutor
+from repro.engine.latency import FixedLatency
+from repro.mathutils.rand import DeterministicRNG
+from repro.network.medium import BroadcastMedium
+from repro.pki import Identity
+from repro.sim import Scenario, ScenarioRunner
+
+
+class FalsyDevice(DeviceProfile):
+    def __bool__(self) -> bool:
+        return False
+
+
+class FalsyEngineConfig(EngineConfig):
+    def __bool__(self) -> bool:
+        return False
+
+
+class FalsyRNG(DeterministicRNG):
+    def __bool__(self) -> bool:
+        return False
+
+
+def test_scenario_runner_keeps_a_falsy_device_profile(small_setup):
+    device = FalsyDevice()
+    runner = ScenarioRunner(small_setup, device=device)
+    assert runner.device is device
+
+
+def test_scenario_runner_keeps_a_falsy_engine_config_under_attack(small_setup):
+    # The attacked path rebuilds the engine config via dataclasses.replace;
+    # before the `is None` fix a falsy config was swapped for the instant-mode
+    # default, silently discarding the latency model.
+    from repro.sim import AdversaryConfig
+
+    engine = FalsyEngineConfig(latency=FixedLatency(0.01))
+    runner = ScenarioRunner(small_setup, engine=engine, check_agreement=False)
+    scenario = Scenario(
+        name="falsy-engine",
+        initial_size=4,
+        seed=3,
+        adversary=AdversaryConfig(),  # passive eavesdropper
+    )
+    report = runner.run("proposed-gka", scenario)
+    assert report.total_sim_latency_s > 0.0  # the latency model survived
+
+
+def test_machine_executor_keeps_a_falsy_engine_config():
+    config = FalsyEngineConfig(latency=FixedLatency(0.5))
+    executor = MachineExecutor([], BroadcastMedium(), config=config)
+    assert executor.config is config
+    assert executor.latency is config.latency
+
+
+def test_broadcast_medium_keeps_a_falsy_rng():
+    rng = FalsyRNG("falsy-medium")
+    medium = BroadcastMedium(loss_probability=0.2, rng=rng)
+    assert medium._rng is rng
+
+
+def test_group_session_keeps_a_falsy_device_profile(small_setup):
+    members = [Identity(f"fd-{i}") for i in range(4)]
+    state = create_protocol("bd", small_setup).run(members, seed=1).state
+    device = FalsyDevice()
+    session = GroupSession(small_setup, state, device)
+    assert session.device is device

@@ -1,0 +1,174 @@
+"""The ``python -m repro.sim`` CLI: error paths, exit codes, golden exports.
+
+The golden fixtures (``tests/fixtures/sim_cli_comparison.{csv,json}``) pin
+the CLI's machine-readable output for a fixed seeded spec — every column
+except host wall time, which is stripped on both sides before comparing.
+There is deliberately no regeneration switch: a diff here means the
+simulation's observable outputs changed, which should be a conscious
+decision (re-capture the fixtures by hand and bump
+:data:`repro.campaign.cache.CACHE_VERSION` alongside).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+
+import pytest
+
+from repro.sim.__main__ import main as sim_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+GOLDEN_SPEC = {
+    "name": "golden",
+    "initial_size": 5,
+    "seed": 42,
+    "loss_probability": 0.1,
+    "schedule": {"kind": "poisson", "length": 3},
+}
+GOLDEN_PROTOCOLS = "proposed-gka,bd-unauthenticated,ssn"
+
+
+def _write_spec(tmp_path, spec) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def _normalize_csv(text: str) -> str:
+    rows = list(csv.DictReader(io.StringIO(text)))
+    for row in rows:
+        row.pop("wall_seconds", None)
+    fields = [name for name in rows[0]] if rows else []
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return out.getvalue()
+
+
+def _normalize_json(text: str) -> str:
+    payload = json.loads(text)
+    for proto in payload["protocols"]:
+        proto.pop("wall_seconds", None)
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestGoldenOutputs:
+    def test_csv_export_matches_the_golden_fixture(self, tmp_path):
+        csv_path = tmp_path / "cmp.csv"
+        code = sim_main(
+            [
+                _write_spec(tmp_path, GOLDEN_SPEC),
+                "--protocols",
+                GOLDEN_PROTOCOLS,
+                "--csv",
+                str(csv_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        golden = open(os.path.join(FIXTURES, "sim_cli_comparison.csv")).read()
+        assert _normalize_csv(csv_path.read_text()) == golden
+
+    def test_json_export_matches_the_golden_fixture(self, tmp_path):
+        json_path = tmp_path / "cmp.json"
+        code = sim_main(
+            [
+                _write_spec(tmp_path, GOLDEN_SPEC),
+                "--protocols",
+                GOLDEN_PROTOCOLS,
+                "--json",
+                str(json_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        golden = open(os.path.join(FIXTURES, "sim_cli_comparison.json")).read()
+        assert _normalize_json(json_path.read_text()) == golden
+
+    def test_stdin_spec_is_equivalent_to_a_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(GOLDEN_SPEC)))
+        code = sim_main(["-", "--protocols", "proposed-gka"])
+        assert code == 0
+        assert "proposed-gka" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    def test_missing_spec_file_exits_2(self, capsys):
+        assert sim_main(["/no/such/spec.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x",')
+        assert sim_main([str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_spec_key_exits_2(self, tmp_path, capsys):
+        spec = dict(GOLDEN_SPEC, initial_sise=6)
+        assert sim_main([_write_spec(tmp_path, spec)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_schedule_kind_exits_2(self, tmp_path, capsys):
+        spec = dict(GOLDEN_SPEC, schedule={"kind": "tsunami"})
+        assert sim_main([_write_spec(tmp_path, spec)]) == 2
+        assert "schedule.kind" in capsys.readouterr().err
+
+    def test_unknown_protocol_name_exits_2(self, tmp_path, capsys):
+        code = sim_main(
+            [_write_spec(tmp_path, GOLDEN_SPEC), "--protocols", "proposed-gkaa"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown protocol" in err and "did you mean" in err
+
+    def test_unknown_adversary_preset_exits_2(self, tmp_path, capsys):
+        code = sim_main([_write_spec(tmp_path, GOLDEN_SPEC), "--adversary", "ddos"])
+        assert code == 2
+        assert "unknown adversary preset" in capsys.readouterr().err
+
+    def test_schedule_and_mobility_together_exit_2(self, tmp_path, capsys):
+        spec = dict(
+            GOLDEN_SPEC,
+            mobility={"model": "random-waypoint", "tx_range": 150.0, "duration": 10.0},
+        )
+        del spec["loss_probability"]
+        assert sim_main([_write_spec(tmp_path, spec)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_trace_schedule_with_bad_event_kind_exits_2(self, tmp_path, capsys):
+        spec = dict(
+            GOLDEN_SPEC,
+            schedule={"kind": "trace", "events": [{"kind": "explode"}]},
+        )
+        assert sim_main([_write_spec(tmp_path, spec)]) == 2
+        assert "event.kind" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["warp", "fixed:fast"])
+    def test_bad_engine_profile_exits_2(self, tmp_path, capsys, engine):
+        assert sim_main([_write_spec(tmp_path, GOLDEN_SPEC), "--engine", engine]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceSpecs:
+    def test_trace_schedule_runs_end_to_end(self, tmp_path, capsys):
+        spec = {
+            "name": "trace-cli",
+            "initial_size": 5,
+            "seed": 5,
+            "schedule": {
+                "kind": "trace",
+                "events": [
+                    {"kind": "leave", "member": "member-002"},
+                    {"kind": "join", "member": "member-new"},
+                    {"kind": "merge", "members": ["extra-1", "extra-2"]},
+                ],
+            },
+        }
+        code = sim_main([_write_spec(tmp_path, spec), "--protocols", "proposed-gka"])
+        assert code == 0
+        assert "proposed-gka" in capsys.readouterr().out
