@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Benchmark regression gate over the ``BENCH_*.json`` artifacts.
+
+Compares the fresh artifacts a benchmark run just wrote (``benchmarks/
+artifacts/`` or ``$REPRO_BENCH_DIR``) against the committed trajectory points
+in ``benchmarks/trajectory/`` and fails when a module's total wall time
+regressed by more than the threshold (default 25%).  Modules without a
+committed point are reported as *new* and never fail the gate — commit their
+artifact with ``--update`` to start tracking them.
+
+Usage::
+
+    python benchmarks/check_regression.py              # gate (exit 1 on regression)
+    python benchmarks/check_regression.py --update     # adopt fresh artifacts
+    python benchmarks/check_regression.py --threshold 0.4
+
+Only wall time gates: domain metrics (energy, percentiles, speedups) are
+deterministic or asserted by the benchmarks themselves, so the gate just
+surfaces their drift informationally.  Runs on stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))
+
+from _artifacts import artifact_dir, trajectory_dir  # noqa: E402
+
+
+def _load(path: Path) -> Optional[Dict]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: unreadable artifact {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict) or "total_wall_seconds" not in data:
+        print(f"warning: {path} is not a BENCH artifact", file=sys.stderr)
+        return None
+    return data
+
+
+def check(fresh_dir: Path, baseline_dir: Path, threshold: float) -> int:
+    """Print the comparison table; return the number of regressions."""
+    fresh_paths = sorted(fresh_dir.glob("BENCH_*.json"))
+    if not fresh_paths:
+        print(f"error: no BENCH_*.json artifacts in {fresh_dir} — run the "
+              "benchmarks first (pytest benchmarks/)", file=sys.stderr)
+        return 1
+    regressions: List[str] = []
+    print(f"{'module':<32} {'baseline s':>11} {'fresh s':>9} {'delta':>8}  status")
+    for path in fresh_paths:
+        fresh = _load(path)
+        if fresh is None:
+            continue
+        name = str(fresh.get("name", path.stem))
+        fresh_s = float(fresh["total_wall_seconds"])
+        base_path = baseline_dir / path.name
+        if not base_path.exists():
+            print(f"{name:<32} {'-':>11} {fresh_s:>9.3f} {'-':>8}  new (not gated)")
+            continue
+        baseline = _load(base_path)
+        if baseline is None:
+            continue
+        base_s = float(baseline["total_wall_seconds"])
+        delta = (fresh_s - base_s) / base_s if base_s else 0.0
+        if delta > threshold:
+            status = f"REGRESSION (> {threshold:.0%})"
+            regressions.append(name)
+        else:
+            status = "ok"
+        print(f"{name:<32} {base_s:>11.3f} {fresh_s:>9.3f} {delta:>+8.1%}  {status}")
+    if regressions:
+        print(f"\n{len(regressions)} wall-time regression(s): {', '.join(regressions)}")
+    return len(regressions)
+
+
+def update(fresh_dir: Path, baseline_dir: Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    copied = 0
+    for path in sorted(fresh_dir.glob("BENCH_*.json")):
+        if _load(path) is None:
+            continue
+        shutil.copyfile(path, baseline_dir / path.name)
+        copied += 1
+    print(f"adopted {copied} artifact(s) into {baseline_dir}")
+    return 0 if copied else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", default=None, help=f"fresh artifact directory (default: {artifact_dir()})"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"committed trajectory directory (default: {trajectory_dir()})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional wall-time increase that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh artifacts into the trajectory instead of gating",
+    )
+    args = parser.parse_args(argv)
+    fresh = Path(args.fresh) if args.fresh else artifact_dir()
+    baseline = Path(args.baseline) if args.baseline else trajectory_dir()
+    if args.update:
+        return update(fresh, baseline)
+    return 1 if check(fresh, baseline, args.threshold) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,41 @@ are attached where measuring our pure-Python implementation is meaningful.
 
 from __future__ import annotations
 
+import os
+import sys
+import time
+from pathlib import Path
+
 import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _artifacts import BenchArtifact  # noqa: E402 (needs the path tweak above)
 
 from repro.core import SystemSetup
 from repro.energy import DeviceProfile, RADIO_100KBPS, WLAN_SPECTRUM24
+
+
+@pytest.fixture(scope="module")
+def bench_artifact(request) -> BenchArtifact:
+    """This module's ``BENCH_<name>.json`` collector (written at teardown).
+
+    The autouse timer below feeds it per-test wall times, so every benchmark
+    module emits an artifact without further ceremony; modules record richer
+    domain metrics (energy totals, percentiles, speedups) explicitly.
+    """
+    name = Path(request.module.__file__).stem
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    artifact = BenchArtifact(name)
+    yield artifact
+    artifact.write()
+
+
+@pytest.fixture(autouse=True)
+def _bench_wall_time(request, bench_artifact):
+    started = time.perf_counter()
+    yield
+    bench_artifact.record_test(request.node.name, time.perf_counter() - started)
 
 
 @pytest.fixture(scope="session")

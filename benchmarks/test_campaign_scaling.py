@@ -63,7 +63,7 @@ class TestCampaignScaling:
         not _enough_cpus() and not os.environ.get("CAMPAIGN_SCALING_STRICT"),
         reason=f"speedup bound needs >= {WORKERS} CPUs (found {os.cpu_count()})",
     )
-    def test_four_workers_at_least_twice_as_fast_and_bit_identical(self):
+    def test_four_workers_at_least_twice_as_fast_and_bit_identical(self, bench_artifact):
         # Warm the in-process parameter/memoisation caches once so the serial
         # timing is not paying one-time setup the forked workers inherit.
         warmup = CampaignSpec(
@@ -91,6 +91,10 @@ class TestCampaignScaling:
             f"serial {serial_s:.2f}s vs {WORKERS} workers {sharded_s:.2f}s "
             f"-> {speedup:.2f}x"
         )
+        bench_artifact.record("cells", len(serial.rows))
+        bench_artifact.record("serial_seconds", round(serial_s, 3))
+        bench_artifact.record(f"sharded_{WORKERS}w_seconds", round(sharded_s, 3))
+        bench_artifact.record("worker_speedup", round(speedup, 3))
         assert speedup >= REQUIRED_SPEEDUP, (
             f"expected >= {REQUIRED_SPEEDUP}x with {WORKERS} workers, got "
             f"{speedup:.2f}x ({serial_s:.2f}s -> {sharded_s:.2f}s)"
@@ -112,3 +116,27 @@ class TestCampaignScaling:
         serial = run_campaign(spec, workers=1)
         sharded = run_campaign(spec, workers=WORKERS)
         assert sharded.deterministic_rows() == serial.deterministic_rows()
+
+    def test_content_hash_cache_replays_unchanged_cells(self, tmp_path, bench_artifact):
+        # A re-run over an unchanged spec must be served entirely from the
+        # content-hash cache; the artifact pins the measured hit rate.
+        spec = CampaignSpec(
+            name="campaign-scaling-cache",
+            protocols=ACCEPTANCE_GRID.protocols[:2],
+            group_sizes=(8,),
+            losses=(0.0, 0.1),
+            seed="cache-bench",
+        )
+        cold = run_campaign(spec, workers=1, cache_dir=str(tmp_path))
+        warm = run_campaign(spec, workers=1, cache_dir=str(tmp_path))
+        total = warm.cache_hits + warm.cache_misses
+        hit_rate = warm.cache_hits / total if total else 0.0
+        bench_artifact.record("cache_hit_rate_rerun", round(hit_rate, 3))
+        bench_artifact.record(
+            "cache_cold_seconds", round(cold.wall_seconds, 3)
+        )
+        bench_artifact.record(
+            "cache_warm_seconds", round(warm.wall_seconds, 3)
+        )
+        assert hit_rate == 1.0
+        assert warm.deterministic_rows() == cold.deterministic_rows()

@@ -87,7 +87,7 @@ def engine_reports(small_setup, wlan_profile, engine_scenario, engine_config):
 
 
 class TestEngineLatencyBenchmark:
-    def test_sim_latency_percentiles_alongside_energy(self, engine_reports):
+    def test_sim_latency_percentiles_alongside_energy(self, engine_reports, bench_artifact):
         reports, walls = engine_reports
         print(f"\n=== n={GROUP_SIZE} mobility scenario on the virtual-time kernel ===")
         print(comparison_table(list(reports.values())))
@@ -103,6 +103,16 @@ class TestEngineLatencyBenchmark:
                 f"{report.total_sim_latency_s:>12.4f} {report.total_timeouts:>9} "
                 f"{report.total_energy_j:>10.4f} {walls[name]:>7.2f}"
             )
+            bench_artifact.record(
+                f"sim_latency_{name}",
+                {
+                    "p50_s": round(_percentile(latencies, 0.5), 6),
+                    "p90_s": round(_percentile(latencies, 0.9), 6),
+                    "max_s": round(max(latencies), 6),
+                    "total_s": round(report.total_sim_latency_s, 6),
+                },
+            )
+            bench_artifact.record(f"energy_j_{name}", round(report.total_energy_j, 6))
         for report in reports.values():
             assert report.agreed_throughout
             assert report.final_size >= 3

@@ -47,13 +47,15 @@ def churn_reports(small_setup, churn_scenario, wlan_profile):
     return reports, walls
 
 
-def test_print_churn_comparison(churn_reports):
+def test_print_churn_comparison(churn_reports, bench_artifact):
     """The 100-member, 50-event scenario across all four protocols."""
     reports, walls = churn_reports
     print()
     print(comparison_table([reports[name] for name in PROTOCOLS]))
     for name in PROTOCOLS:
         print(f"host wall-time {name}: {walls[name]:.2f}s")
+        bench_artifact.record(f"wall_seconds_{name}", round(walls[name], 4))
+        bench_artifact.record(f"energy_j_{name}", round(reports[name].total_energy_j, 6))
 
 
 def test_churn_completes_with_agreement(churn_reports):
@@ -84,7 +86,7 @@ def test_proposed_dynamic_protocols_beat_authenticated_reexecution(churn_reports
     assert proposed_join * 5 < bd_join
 
 
-def test_fixed_base_cache_beats_cold_pow():
+def test_fixed_base_cache_beats_cold_pow(bench_artifact):
     """Round 1's ``g^{r_i}`` via the warm fixed-base table vs cold ``pow``.
 
     Paper-sized parameters (1024-bit p, 160-bit q): the windowed table does
@@ -101,6 +103,7 @@ def test_fixed_base_cache_beats_cold_pow():
     assert [group.exp_g(e) for e in exponents] == [pow(group.g, e, group.p) for e in exponents]
     speedup = best_cold / best_fixed
     print(f"\nfixed-base: {best_fixed:.4f}s  cold pow: {best_cold:.4f}s  speedup: {speedup:.2f}x")
+    bench_artifact.record("fixed_base_speedup", round(speedup, 3))
     # Empirically ~5x on CPython; 1.5x leaves generous headroom for slow CI.
     assert speedup > 1.5
 

@@ -169,6 +169,14 @@ class _AuthBDPartyMachine(PartyMachine):
         group = self.protocol.setup.group
         party = self.party
         assert self._z_product is not None
+        # Certificates first (per sender), then the n-1 signatures as one
+        # batch_verify call: for DSA/ECDSA that is one random-linear-
+        # combination multi-exp instead of n-1 independent verifications
+        # (SOK falls back to the per-item loop).  Host time only — the
+        # recorder still charges this receiver one "ver" per certificate and
+        # one per signature, exactly as the loop did.
+        senders: List[str] = []
+        items: List[Tuple[object, bytes, object]] = []
         for sender_name, (x_value, signature) in self._round2.items():
             body = encode_fields(
                 [
@@ -185,21 +193,28 @@ class _AuthBDPartyMachine(PartyMachine):
                         f"{self.identity.name} rejected {sender_name}'s certificate"
                     )
                 party.recorder.record_signature(self.protocol.scheme_name, "ver")  # cert
-                public_key = self.protocol.decode_certified_key(certificate)
-                verified = self.protocol.signature_scheme.verify(public_key, body, signature)
+                public_key: object = self.protocol.decode_certified_key(certificate)
             else:
-                verified = self.protocol.signature_scheme.verify(
-                    self.protocol.identity_bytes(sender_name),
-                    body,
-                    signature,
-                    master_public=self.protocol.sok_master_public,
-                )
+                public_key = self.protocol.identity_bytes(sender_name)
+            senders.append(sender_name)
+            items.append((public_key, body, signature))
+        # The coefficient stream is a *forked* (derivation-based) child, so
+        # drawing from it never advances the party's own stream — transcripts
+        # stay bit-identical to the per-item loop.
+        batch_rng = party.rng.fork("batch-verify")
+        if self.protocol.uses_certificates:
+            outcomes = self.protocol.signature_scheme.batch_verify(items, batch_rng)
+        else:
+            outcomes = self.protocol.signature_scheme.batch_verify(
+                items, batch_rng, master_public=self.protocol.sok_master_public
+            )
+        for sender_name, verified in zip(senders, outcomes):
             party.recorder.record_signature(self.protocol.scheme_name, "ver")
             if not verified:
                 raise SignatureError(
                     f"{self.identity.name} rejected {sender_name}'s signature"
                 )
-            self._x_table[sender_name] = x_value
+            self._x_table[sender_name] = self._round2[sender_name][0]
         party.group_key = compute_bd_key(
             group, self._ring_names, self.identity.name, party.r, self._z_view, self._x_table
         )

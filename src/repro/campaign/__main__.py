@@ -27,7 +27,9 @@ import json
 import sys
 from typing import List, Optional
 
+from ..backends.registry import available_backends
 from ..exceptions import ReproError
+from ..profiling import maybe_profile
 from .execute import run_campaign
 from .spec import AXIS_NAMES, CampaignSpec
 
@@ -61,6 +63,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "value: any metric column, e.g. energy_j)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="crypto backend for every cell "
+        f"({', '.join(available_backends())}; overrides the spec's own 'backend')",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the campaign run and print the top cumulative hotspots "
+        "to stderr (forces --workers 1 so the work happens in this process)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary on stdout"
     )
     args = parser.parse_args(argv)
@@ -71,6 +85,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             with open(args.spec, encoding="utf-8") as handle:
                 payload = json.load(handle)
+        if args.backend is not None:
+            payload = {**payload, "backend": args.backend}
         spec = CampaignSpec.from_dict(payload)
         pivot = None
         if args.pivot is not None:
@@ -87,7 +103,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    result = run_campaign(spec, workers=args.workers, cache_dir=args.cache_dir)
+    workers = 1 if args.profile else args.workers
+    with maybe_profile(args.profile):
+        result = run_campaign(spec, workers=workers, cache_dir=args.cache_dir)
 
     if args.csv:
         result.to_csv(args.csv)

@@ -37,6 +37,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import ParameterError, ProtocolError
+from ..backends.registry import resolve_backend, use_backend
 from ..network.medium import BroadcastMedium
 from ..network.message import Message
 from .kernel import EventKernel
@@ -69,12 +70,18 @@ class EngineConfig:
     #: attacker suite consulted on every transmission (None = honest runs;
     #: a suite whose actors are all passive leaves runs bit-identical)
     adversary: Optional["AdversarySuite"] = None
+    #: crypto backend name for the run (None = process default; every backend
+    #: is bit-identical, this only changes host-side arithmetic speed)
+    crypto_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.round_timeout_s <= 0:
             raise ParameterError("round_timeout_s must be positive")
         if self.max_timeout_waves < 1:
             raise ParameterError("max_timeout_waves must be at least 1")
+        if self.crypto_backend is not None:
+            # Fail at configuration time, not mid-run.
+            resolve_backend(self.crypto_backend)
 
     def describe(self) -> str:
         """One-line summary used in reports."""
@@ -84,6 +91,8 @@ class EngineConfig:
             summary = f"{self.latency.describe()}, timeout={self.round_timeout_s:g}s"
         if self.adversary is not None:
             summary += f", adversary[{self.adversary.describe()}]"
+        if self.crypto_backend is not None:
+            summary += f", backend={self.crypto_backend}"
         return summary
 
 
@@ -146,7 +155,17 @@ class MachineExecutor:
 
     # ------------------------------------------------------------------- run
     def run(self) -> EngineStats:
-        """Execute to quiescence; raises whatever the machines raise."""
+        """Execute to quiescence; raises whatever the machines raise.
+
+        Runs under the config's crypto backend (a no-op when
+        ``crypto_backend`` is ``None``); backends are bit-identical, so the
+        selection never changes what a run produces, only how fast the
+        host-side arithmetic goes.
+        """
+        with use_backend(self.config.crypto_backend):
+            return self._run()
+
+    def _run(self) -> EngineStats:
         for index, machine in enumerate(self.machines):
             machine.context = self
             self.kernel.schedule(

@@ -18,11 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..backends.registry import active_backend
 from ..exceptions import ParameterError
-from ..mathutils.modular import modinv
 from ..mathutils.rand import DeterministicRNG
 
-__all__ = ["EllipticCurve", "ECPoint"]
+__all__ = ["EllipticCurve", "ECPoint", "ec_multi_scalar"]
 
 
 @dataclass(frozen=True)
@@ -148,7 +148,7 @@ class ECPoint:
             if (self.y + other.y) % p == 0:
                 return self.curve.infinity
             return self.double()
-        slope = ((other.y - self.y) * modinv(other.x - self.x, p)) % p  # type: ignore[operator]
+        slope = ((other.y - self.y) * active_backend().modinv(other.x - self.x, p)) % p  # type: ignore[operator]
         x3 = (slope * slope - self.x - other.x) % p
         y3 = (slope * (self.x - x3) - self.y) % p  # type: ignore[operator]
         return ECPoint(self.curve, x3, y3)
@@ -160,24 +160,14 @@ class ECPoint:
         p = self.curve.p
         if self.y == 0:
             return self.curve.infinity
-        slope = ((3 * self.x * self.x + self.curve.a) * modinv(2 * self.y, p)) % p  # type: ignore[operator]
+        slope = ((3 * self.x * self.x + self.curve.a) * active_backend().modinv(2 * self.y, p)) % p  # type: ignore[operator]
         x3 = (slope * slope - 2 * self.x) % p
         y3 = (slope * (self.x - x3) - self.y) % p  # type: ignore[operator]
         return ECPoint(self.curve, x3, y3)
 
     def multiply(self, scalar: int) -> "ECPoint":
-        """Scalar multiplication ``scalar * P`` (double-and-add, MSB first)."""
-        if scalar == 0 or self.is_infinity:
-            return self.curve.infinity
-        if scalar < 0:
-            return self.negate().multiply(-scalar)
-        result = self.curve.infinity
-        addend = self
-        for bit in bin(scalar)[2:]:
-            result = result.double()
-            if bit == "1":
-                result = result.add(addend)
-        return result
+        """Scalar multiplication ``scalar * P`` (routes through the backend)."""
+        return active_backend().ec_scalar_mul(self, scalar)
 
     __add__ = add
 
@@ -189,3 +179,45 @@ class ECPoint:
 
     def __mul__(self, scalar: int) -> "ECPoint":
         return self.multiply(scalar)
+
+
+def ec_multi_scalar(points: "list[ECPoint]", scalars: "list[int]") -> ECPoint:
+    """Simultaneous multi-scalar multiplication ``sum scalars[i] * points[i]``.
+
+    The elliptic-curve analogue of :func:`repro.mathutils.modular.multi_exp`:
+    one interleaved Straus double chain over the widest scalar, adding each
+    point at its set bits.  For the batch signature check — a handful of
+    order-sized scalars plus many 64-bit random coefficients — this replaces
+    ``len(points)`` independent double-and-add ladders (each paying a full
+    run of field inversions) with a single shared chain, which is where the
+    batch-verification speedup on the pure backend comes from.
+
+    Negative scalars negate the point first (point negation is one field
+    negation, unlike the modular case where a full inverse is needed).
+    """
+    if len(points) != len(scalars):
+        raise ParameterError("points and scalars must have the same length")
+    pairs = []
+    curve = None
+    for point, scalar in zip(points, scalars):
+        if curve is None:
+            curve = point.curve
+        elif point.curve is not curve:
+            raise ParameterError("cannot combine points on different curves")
+        if scalar < 0:
+            point, scalar = point.negate(), -scalar
+        if scalar == 0 or point.is_infinity:
+            continue
+        pairs.append((point, scalar))
+    if curve is None:
+        raise ParameterError("multi-scalar multiplication needs at least one point")
+    acc = curve.infinity
+    if not pairs:
+        return acc
+    top = max(scalar.bit_length() for _, scalar in pairs)
+    for bit in range(top - 1, -1, -1):
+        acc = acc.double()
+        for point, scalar in pairs:
+            if (scalar >> bit) & 1:
+                acc = acc.add(point)
+    return acc

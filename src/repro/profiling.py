@@ -1,0 +1,42 @@
+"""Opt-in cProfile hook shared by the ``repro.sim`` / ``repro.campaign`` CLIs.
+
+``--profile`` wraps just the run phase (spec parsing and report printing stay
+outside) and prints the top cumulative-time entries to stderr, so piped
+CSV/JSON output is unaffected.  This is how the hotspot tables in the
+benchmarks documentation were produced; see ``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+__all__ = ["maybe_profile"]
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool, *, top: int = 25, stream: Optional[TextIO] = None
+) -> Iterator[None]:
+    """Profile the enclosed block and dump the ``top`` cumulative hotspots.
+
+    A no-op when ``enabled`` is false, so call sites can wrap their run phase
+    unconditionally.
+    """
+    if not enabled:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        out = stream if stream is not None else sys.stderr
+        stats = pstats.Stats(profiler, stream=out)
+        stats.strip_dirs().sort_stats("cumulative")
+        print(f"--- profile: top {top} by cumulative time ---", file=out)
+        stats.print_stats(top)

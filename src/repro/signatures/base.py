@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping, Sequence, Tuple
 
-__all__ = ["Signature", "OperationCount", "SignatureScheme", "KeyPair"]
+__all__ = ["Signature", "OperationCount", "SignatureScheme", "KeyPair", "BatchItem"]
+
+#: One batch-verification work item: ``(public_key, message, signature)`` in
+#: whatever public-key form the scheme's ``verify`` accepts.
+BatchItem = Tuple[object, bytes, "Signature"]
 
 
 @dataclass(frozen=True)
@@ -38,11 +42,19 @@ class Signature:
         Exact transmitted size in bits; follows the paper's footnotes
         (DSA/ECDSA 320 bits, SOK 388 bits, GQ 1184 bits for the 1024-bit
         parameter set).
+    aux:
+        Host-side auxiliary values that are *not* part of the signature:
+        excluded from equality, wire size and transcript digests.  DSA/ECDSA
+        stash the full signing commitment here so batch verification can
+        reconstruct the group element that ``r`` truncates away; a signature
+        without (or with inconsistent) aux data still verifies normally,
+        just not through the combined batch equation.
     """
 
     scheme: str
     components: Mapping[str, int]
     wire_bits: int
+    aux: Mapping[str, int] = field(default_factory=dict, compare=False, repr=False)
 
     def component(self, name: str) -> int:
         """Convenience accessor for one named component."""
@@ -128,6 +140,35 @@ class SignatureScheme(abc.ABC):
     @abc.abstractmethod
     def verify(self, public_key, message: bytes, signature: Signature) -> bool:
         """Verify ``signature`` over ``message`` against ``public_key``."""
+
+    #: whether :meth:`batch_verify` is more than a per-item loop
+    has_batch_form: bool = False
+
+    def batch_verify(
+        self, items: Sequence[BatchItem], rng, **kwargs: object
+    ) -> List[bool]:
+        """Per-item accept/reject for a batch of ``(key, message, signature)``.
+
+        The contract is *semantic equivalence*: the returned list equals
+        ``[self.verify(k, m, s, **kwargs) for k, m, s in items]`` for every
+        input — honest, forged or malformed.  Schemes with a batch form
+        (DSA, ECDSA) override this with one multi-exponentiation over a
+        random linear combination drawn from ``rng``, bisecting to the
+        culprits when the combined check fails; this default is the loop
+        fallback for schemes without one (GQ's common-challenge batch
+        equation lives in :func:`repro.signatures.gq.gq_batch_verify`
+        instead, and SOK's pairing check does not combine).
+
+        Batch verification is a *host-time* optimisation only: energy
+        accounting still charges each receiver one ``verify_cost()`` per
+        signature, exactly as with the loop.  ``rng`` supplies the random
+        coefficients only — schemes must not let it influence outcomes, so
+        callers may pass a forked stream without perturbing transcripts.
+        """
+        return [
+            self.verify(public_key, message, signature, **kwargs)
+            for public_key, message, signature in items
+        ]
 
     def sign_cost(self) -> OperationCount:
         """Operation tally of one signature generation (for the analysis layer)."""

@@ -27,9 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..backends.registry import active_backend
 from ..exceptions import BatchVerificationError, ParameterError
 from ..hashing.hashfuncs import HashFunction
-from ..mathutils.modular import modinv, product_mod
+from ..mathutils.modular import product_mod
 from ..mathutils.primes import RSAModulus
 from ..mathutils.rand import DeterministicRNG
 from ..mathutils.serialization import int_to_bytes
@@ -131,10 +132,11 @@ class GQSignatureScheme(SignatureScheme):
     def sign(self, private_key: GQPrivateKey, message: bytes, rng: DeterministicRNG) -> Signature:
         """Sign ``message``: ``t = tau^e``, ``c = H(t, M)``, ``s = tau·S_ID^c``."""
         n, e = self.params.n, self.params.e
+        backend = active_backend()
         tau = rng.zn_star(n)
-        t = pow(tau, e, n)
+        t = backend.modexp(tau, e, n)
         c = self.params.hash_function.challenge(int_to_bytes(t), message)
-        s = (tau * pow(private_key.secret, c, n)) % n
+        s = (tau * backend.modexp(private_key.secret, c, n)) % n
         return Signature(
             scheme=self.name,
             components={"s": s, "c": c},
@@ -156,8 +158,10 @@ class GQSignatureScheme(SignatureScheme):
         c = signature.component("c")
         if s == 0:
             return False
+        backend = active_backend()
         try:
-            check = (pow(s, e, n) * pow(modinv(hid, n), c, n)) % n
+            # One simultaneous multi-exp: s^e · H(ID)^{-c} mod n.
+            check = backend.multi_exp([s, hid], [e, -c], n)
         except ParameterError:
             return False
         expected = self.params.hash_function.challenge(int_to_bytes(check), message)
@@ -180,13 +184,13 @@ class GQSignatureScheme(SignatureScheme):
 def gq_commitment(params: GQParameters, rng: DeterministicRNG) -> tuple:
     """Round 1 commitment: draw ``tau in Z_n^*`` and return ``(tau, t = tau^e mod n)``."""
     tau = rng.zn_star(params.n)
-    t = pow(tau, params.e, params.n)
+    t = active_backend().modexp(tau, params.e, params.n)
     return tau, t
 
 
 def gq_response(params: GQParameters, private_key: GQPrivateKey, tau: int, challenge: int) -> int:
     """Round 2 response ``s_i = tau_i · S_Ui^c mod n`` for the common challenge."""
-    return (tau * pow(private_key.secret, challenge, params.n)) % params.n
+    return (tau * active_backend().modexp(private_key.secret, challenge, params.n)) % params.n
 
 
 def gq_batch_verify(
@@ -217,7 +221,9 @@ def gq_batch_verify(
         (params.identity_public_key(identity) for identity in identities), n
     )
     try:
-        aggregate = (pow(s_product, e, n) * pow(modinv(hid_product, n), challenge, n)) % n
+        aggregate = active_backend().multi_exp(
+            [s_product, hid_product], [e, -challenge], n
+        )
     except ParameterError:
         return False
     expected = params.hash_function.challenge(int_to_bytes(aggregate), bound_data)

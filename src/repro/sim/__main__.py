@@ -43,9 +43,11 @@ import sys
 from typing import List, Optional
 
 from ..adversary.config import ATTACKER_PRESETS
+from ..backends.registry import available_backends, set_default_backend
 from ..core.base import SystemSetup
 from ..core.registry import available_protocols
 from ..exceptions import ReproError
+from ..profiling import maybe_profile
 from .report import comparison_csv, comparison_json, comparison_table
 from .runner import ScenarioRunner
 from .specio import build_engine, build_scenario
@@ -82,6 +84,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("test", "paper"),
         help="parameter sizes: fast 256-bit test sets (default) or the paper's 1024-bit",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="crypto backend for the whole run "
+        f"({', '.join(available_backends())}; default: $REPRO_CRYPTO_BACKEND or pure)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the run phase and print the top cumulative hotspots to stderr",
+    )
     parser.add_argument("--csv", default=None, help="write the comparison CSV here")
     parser.add_argument("--json", default=None, help="write the comparison JSON here")
     parser.add_argument(
@@ -97,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 spec = json.load(handle)
         scenario = build_scenario(spec, adversary_override=args.adversary)
         engine = build_engine(args.engine)
+        if args.backend is not None:
+            set_default_backend(args.backend)
     except (ReproError, OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
         # TypeError/ValueError cover mistyped spec keys reaching a dataclass
         # constructor — a one-character typo should print, not traceback.
@@ -114,7 +129,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             else available_protocols()
         )
         runner = ScenarioRunner(setup, engine=engine, check_agreement=False)
-        reports = [runner.run(name, scenario) for name in protocols]
+        with maybe_profile(args.profile):
+            reports = [runner.run(name, scenario) for name in protocols]
     except ReproError as exc:
         # Once the spec has parsed, only library failures are expected —
         # anything else is a bug and should traceback, not masquerade as a

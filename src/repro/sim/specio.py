@@ -335,7 +335,12 @@ def engine_to_spec(engine: Optional[EngineConfig]) -> Union[str, Dict[str, objec
     defaults = EngineConfig()
     extras = {
         name: getattr(engine, name)
-        for name in ("round_timeout_s", "max_timeout_waves", "serialize_channel")
+        for name in (
+            "round_timeout_s",
+            "max_timeout_waves",
+            "serialize_channel",
+            "crypto_backend",
+        )
         if getattr(engine, name) != getattr(defaults, name)
     }
     if not extras:

@@ -1,0 +1,235 @@
+"""Crypto-backend registry, selection plumbing and primitive parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    CryptoBackend,
+    PureBackend,
+    active_backend,
+    available_backends,
+    create_backend,
+    native_available,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.backends import registry as backend_registry
+from repro.campaign import CampaignSpec
+from repro.engine import EngineConfig
+from repro.exceptions import ParameterError
+from repro.mathutils.rand import DeterministicRNG
+from repro.sim.specio import build_engine, engine_to_spec
+
+
+@pytest.fixture(autouse=True)
+def _reset_default():
+    """Keep the process-wide default untouched by these tests."""
+    yield
+    backend_registry._DEFAULT = None
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_backends() == ["native", "pure"]
+        assert {"python", "reference", "gmpy2", "gmp"} <= set(
+            available_backends(include_aliases=True)
+        )
+
+    def test_aliases_resolve_to_canonical(self):
+        assert resolve_backend("python") == "pure"
+        assert resolve_backend("reference") == "pure"
+        assert resolve_backend("gmpy2") == "native"
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ParameterError, match="did you mean 'native'"):
+            resolve_backend("nativ")
+        with pytest.raises(ParameterError, match="available"):
+            resolve_backend("openssl")
+
+    def test_instances_are_shared(self):
+        assert create_backend("pure") is create_backend("python")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError):
+            register_backend("pure", PureBackend)
+
+    def test_native_fallback_vs_strict(self):
+        backend = create_backend("native")
+        if native_available():
+            assert backend.name == "native"
+        else:
+            # Graceful degradation: the instance tells the truth.
+            assert backend.name == "pure"
+            with pytest.raises(ParameterError):
+                backend_registry._INSTANCES.pop("native", None)
+                try:
+                    create_backend("native", strict=True)
+                finally:
+                    backend_registry._INSTANCES.pop("native", None)
+
+
+class TestSelection:
+    def test_default_is_pure(self):
+        backend_registry._DEFAULT = None
+        assert active_backend().name in {"pure", "native"}
+        assert isinstance(active_backend(), CryptoBackend)
+
+    def test_env_var_sets_initial_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "pure")
+        backend_registry._DEFAULT = None
+        assert active_backend() is create_backend("pure")
+
+    def test_env_var_with_alias(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        backend_registry._DEFAULT = None
+        assert active_backend() is create_backend("pure")
+
+    def test_set_default_backend(self):
+        assert set_default_backend("pure") is create_backend("pure")
+        assert active_backend() is create_backend("pure")
+        set_default_backend(None)
+
+    def test_use_backend_nests_and_restores(self):
+        outer = active_backend()
+        with use_backend("pure") as first:
+            assert active_backend() is first
+            with use_backend("native") as second:
+                assert active_backend() is second
+            assert active_backend() is first
+        assert active_backend() is outer
+
+    def test_use_backend_none_is_passthrough(self):
+        before = active_backend()
+        with use_backend(None) as inside:
+            assert inside is before
+            assert active_backend() is before
+
+    def test_use_backend_restores_on_error(self):
+        before = active_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("pure"):
+                raise RuntimeError("boom")
+        assert active_backend() is before
+
+
+class TestPrimitiveParity:
+    """Every backend must be bit-identical to pure on the primitive surface."""
+
+    MOD = (1 << 127) - 1  # prime
+
+    @pytest.fixture()
+    def impl(self, backend):
+        return active_backend()
+
+    def test_modexp(self, impl):
+        pure = create_backend("pure")
+        rng = DeterministicRNG("modexp-parity")
+        for _ in range(20):
+            base = rng.randbelow(self.MOD)
+            exponent = rng.randbelow(1 << 80)
+            assert impl.modexp(base, exponent, self.MOD) == pure.modexp(
+                base, exponent, self.MOD
+            )
+        assert impl.modexp(5, 0, 97) == 1
+        assert impl.modexp(5, -1, 97) == pure.modinv(5, 97)
+        with pytest.raises(ParameterError):
+            impl.modexp(5, 3, 0)
+
+    def test_modinv(self, impl):
+        for a in (1, 2, 96, 12345):
+            inverse = impl.modinv(a, 97)
+            assert (inverse * a) % 97 == 1
+        with pytest.raises(ParameterError):
+            impl.modinv(0, 97)
+        with pytest.raises(ParameterError):
+            impl.modinv(6, 9)  # gcd 3
+
+    def test_multi_exp(self, impl):
+        pure = create_backend("pure")
+        rng = DeterministicRNG("multiexp-parity")
+        bases = [rng.randbelow(self.MOD) for _ in range(5)]
+        exponents = [rng.randbelow(1 << 64) - (1 << 63) for _ in range(5)]
+        exponents[2] = 0
+        assert impl.multi_exp(bases, exponents, self.MOD) == pure.multi_exp(
+            bases, exponents, self.MOD
+        )
+
+    def test_fixed_base(self, impl):
+        rng = DeterministicRNG("fixed-base-parity")
+        table = impl.fixed_base(3, self.MOD, 80)
+        for _ in range(10):
+            exponent = rng.randbelow(1 << 80)
+            assert table.pow(exponent) == pow(3, exponent, self.MOD)
+        with pytest.raises(ParameterError):
+            table.pow(-1)
+
+
+class TestEnginePlumbing:
+    def test_engine_config_validates_backend(self):
+        with pytest.raises(ParameterError):
+            EngineConfig(crypto_backend="no-such-backend")
+        config = EngineConfig(crypto_backend="pure")
+        assert "backend=pure" in config.describe()
+
+    def test_engine_spec_round_trip(self):
+        spec = {"latency": "instant", "crypto_backend": "pure"}
+        config = build_engine(spec)
+        assert config is not None and config.crypto_backend == "pure"
+        assert engine_to_spec(config) == spec
+
+    def test_engine_spec_without_backend_unchanged(self):
+        assert build_engine("instant") is None
+        assert engine_to_spec(None) == "instant"
+
+
+class TestRunEquivalence:
+    def test_scenario_bit_identical_across_backends(self, small_setup):
+        """Same protocol run, every backend: identical keys and ledgers.
+
+        On machines without gmpy2 the ``native`` leg degrades to pure (and so
+        trivially agrees); with gmpy2 installed this pins the bit-identity
+        guarantee the golden equivalence fixtures rely on.
+        """
+        from repro.sim import Scenario, ScenarioRunner
+
+        runner = ScenarioRunner(small_setup, check_agreement=False)
+        scenario = Scenario(name="backend-eq", initial_size=5, seed="beq")
+        reports = []
+        for name in available_backends():
+            with use_backend(name):
+                reports.append(runner.run("bd-dsa", scenario))
+        assert len({report.key_fingerprint for report in reports}) == 1
+        assert len({report.total_energy_j for report in reports}) == 1
+
+    def test_engine_config_backend_scopes_the_run(self, small_setup):
+        from repro.sim import Scenario, ScenarioRunner
+
+        scenario = Scenario(name="backend-eq-cfg", initial_size=4, seed="beq2")
+        plain = ScenarioRunner(small_setup, check_agreement=False).run("bd-dsa", scenario)
+        scoped = ScenarioRunner(
+            small_setup, engine=EngineConfig(crypto_backend="native"), check_agreement=False
+        ).run("bd-dsa", scenario)
+        assert scoped.key_fingerprint == plain.key_fingerprint
+
+
+class TestCampaignPlumbing:
+    def test_spec_accepts_backend(self):
+        spec = CampaignSpec(name="b", protocols=("bd",), backend="pure")
+        cells = spec.cells()
+        assert all(cell.payload["backend"] == "pure" for cell in cells)
+        assert spec.to_dict()["backend"] == "pure"
+        assert CampaignSpec.from_dict(spec.to_dict()).backend == "pure"
+
+    def test_spec_rejects_unknown_backend(self):
+        with pytest.raises(ParameterError):
+            CampaignSpec(name="b", protocols=("bd",), backend="no-such")
+
+    def test_backend_is_not_an_axis(self):
+        with_backend = CampaignSpec(name="b", protocols=("bd",), backend="pure")
+        without = CampaignSpec(name="b", protocols=("bd",))
+        assert [c.key for c in with_backend.cells()] == [c.key for c in without.cells()]
+        assert [c.axes for c in with_backend.cells()] == [c.axes for c in without.cells()]

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.exceptions import ParameterError
 from repro.groups.curves import CURVES, NIST_P192, NIST_P256, SECP160R1, TINY_CURVE, get_curve
-from repro.groups.elliptic import ECPoint, EllipticCurve
+from repro.groups.elliptic import ECPoint, EllipticCurve, ec_multi_scalar
 from repro.groups.pairing import G1Element, GTElement, SimulatedPairingGroup
 from repro.groups.params import (
     GQ_PARAM_SETS,
@@ -53,7 +53,7 @@ class TestSchnorrGroup:
         with pytest.raises(ParameterError):
             SchnorrGroup(p=23, q=11, g=1).validate()
 
-    def test_operations(self, small_group):
+    def test_operations(self, small_group, backend):
         g = small_group
         a, b = 12345, 67890
         assert g.mul(a, b) == (a * b) % g.p
@@ -119,7 +119,7 @@ class TestEllipticCurves:
         q = TINY_CURVE.generator.multiply(13)
         assert (p + q) == (q + p)
 
-    def test_scalar_mult_matches_repeated_addition(self):
+    def test_scalar_mult_matches_repeated_addition(self, backend):
         g = TINY_CURVE.generator
         accumulated = TINY_CURVE.infinity
         for k in range(1, 25):
@@ -145,13 +145,31 @@ class TestEllipticCurves:
         with pytest.raises(ParameterError):
             singular.validate()
 
-    def test_dh_on_p256(self):
+    def test_dh_on_p256(self, backend):
         rng = DeterministicRNG("ecdh")
         a = NIST_P256.random_scalar(rng)
         b = NIST_P256.random_scalar(rng)
         shared_1 = NIST_P256.generator.multiply(a).multiply(b)
         shared_2 = NIST_P256.generator.multiply(b).multiply(a)
         assert shared_1 == shared_2
+
+    def test_multi_scalar_matches_sum_of_products(self, backend):
+        rng = DeterministicRNG("straus")
+        points = [TINY_CURVE.generator.multiply(1 + rng.randbelow(500)) for _ in range(5)]
+        scalars = [rng.randbelow(2 * TINY_CURVE.n) - TINY_CURVE.n for _ in range(5)]
+        scalars[2] = 0  # zero scalars must be skipped, not crash
+        expected = TINY_CURVE.infinity
+        for point, scalar in zip(points, scalars):
+            expected = expected + point.multiply(scalar)
+        assert ec_multi_scalar(points, scalars) == expected
+
+    def test_multi_scalar_rejects_bad_input(self):
+        with pytest.raises(ParameterError):
+            ec_multi_scalar([], [])
+        with pytest.raises(ParameterError):
+            ec_multi_scalar([TINY_CURVE.generator], [1, 2])
+        with pytest.raises(ParameterError):
+            ec_multi_scalar([TINY_CURVE.generator, NIST_P192.generator], [1, 1])
 
     @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=30)

@@ -169,7 +169,7 @@ class TestGQBatchVerification:
 
 
 class TestDSA:
-    def test_roundtrip(self, small_group, rng):
+    def test_roundtrip(self, small_group, rng, backend):
         scheme = DSASignatureScheme(small_group)
         keypair = scheme.generate_keypair(rng)
         signature = scheme.sign(keypair, b"hello", rng)
@@ -196,7 +196,7 @@ class TestDSA:
 
 
 class TestECDSA:
-    def test_roundtrip_tiny_curve(self, rng):
+    def test_roundtrip_tiny_curve(self, rng, backend):
         scheme = ECDSASignatureScheme(TINY_CURVE, HashFunction(output_bits=12))
         keypair = scheme.generate_keypair(rng)
         signature = scheme.sign(keypair, b"hello", rng)
@@ -265,6 +265,175 @@ class TestSOK:
         assert sok.verify_cost().pairing == 2
         assert sok.verify_cost().map_to_point == 1
         assert sok.sign_cost().scalar_mul == 2
+
+
+class TestBatchVerification:
+    """``batch_verify`` must agree with per-item ``verify`` on every input."""
+
+    def _dsa(self, small_group):
+        return DSASignatureScheme(small_group)
+
+    def _ecdsa(self):
+        return ECDSASignatureScheme(TINY_CURVE, HashFunction(output_bits=12))
+
+    @staticmethod
+    def _items(scheme, rng, k, prefix=b"msg"):
+        items = []
+        for index in range(k):
+            keypair = scheme.generate_keypair(rng)
+            message = prefix + b"|%d" % index
+            items.append((keypair, message, scheme.sign(keypair, message, rng)))
+        return items
+
+    @staticmethod
+    def _agrees(scheme, items, rng):
+        scheme._verify_cache.clear()
+        loop = [scheme.verify(pk, msg, sig) for pk, msg, sig in items]
+        scheme._verify_cache.clear()
+        batch = scheme.batch_verify(items, rng.fork("coefficients"))
+        assert batch == loop
+        return loop
+
+    def test_dsa_accepts_honest_batch(self, small_group, rng, backend):
+        scheme = self._dsa(small_group)
+        items = self._items(scheme, rng, 6)
+        assert self._agrees(scheme, items, rng) == [True] * 6
+
+    def test_ecdsa_accepts_honest_batch(self, rng, backend):
+        scheme = self._ecdsa()
+        items = self._items(scheme, rng, 6)
+        assert self._agrees(scheme, items, rng) == [True] * 6
+
+    @pytest.mark.parametrize("scheme_name", ["dsa", "ecdsa"])
+    def test_randomized_tampering_agrees_with_loop(self, small_group, rng, scheme_name):
+        """Random forgeries of every flavour: batch == loop, element-wise.
+
+        Each trial flips a random subset of a fresh batch using a random
+        tamper per item — wrong message, wrong key, bumped ``s``, zeroed
+        ``r`` — and checks element-wise agreement between the combined check
+        (plus bisection) and the ground-truth loop.
+        """
+        scheme = self._dsa(small_group) if scheme_name == "dsa" else self._ecdsa()
+        tamper_rng = DeterministicRNG("tamper", label=scheme_name)
+        for trial in range(6):
+            items = self._items(scheme, rng, 8, prefix=b"trial-%d" % trial)
+            expected = [True] * len(items)
+            for index in range(len(items)):
+                if tamper_rng.randbelow(3) != 0:
+                    continue
+                public_key, message, signature = items[index]
+                kind = tamper_rng.randbelow(4)
+                if kind == 0:
+                    items[index] = (public_key, message + b"!", signature)
+                elif kind == 1:
+                    other = scheme.generate_keypair(rng)
+                    items[index] = (other, message, signature)
+                elif kind == 2:
+                    forged = Signature(
+                        scheme=signature.scheme,
+                        components={
+                            "r": signature.component("r"),
+                            "s": signature.component("s") ^ 1,
+                        },
+                        wire_bits=signature.wire_bits,
+                        aux=signature.aux,
+                    )
+                    items[index] = (public_key, message, forged)
+                else:
+                    forged = Signature(
+                        scheme=signature.scheme,
+                        components={"r": 0, "s": signature.component("s")},
+                        wire_bits=signature.wire_bits,
+                        aux=signature.aux,
+                    )
+                    items[index] = (public_key, message, forged)
+                expected[index] = False
+            results = self._agrees(scheme, items, rng)
+            # s^1 could in principle still verify; everything else must fail.
+            for index, flag in enumerate(expected):
+                if not flag:
+                    assert results[index] is False or results[index] == scheme.verify(
+                        *items[index]
+                    )
+
+    def test_single_forgery_bisected_to_exact_index(self, small_group, rng):
+        scheme = self._dsa(small_group)
+        items = self._items(scheme, rng, 9)
+        public_key, message, _ = items[5]
+        other = scheme.generate_keypair(rng)
+        items[5] = (public_key, message, scheme.sign(other, message, rng))
+        results = self._agrees(scheme, items, rng)
+        assert results == [True] * 5 + [False] + [True] * 3
+
+    def test_missing_aux_falls_back_to_individual_verify(self, small_group, rng):
+        scheme = self._dsa(small_group)
+        items = [
+            (pk, msg, Signature(sig.scheme, sig.components, sig.wire_bits))
+            for pk, msg, sig in self._items(scheme, rng, 4)
+        ]
+        assert all(not item[2].aux for item in items)
+        assert self._agrees(scheme, items, rng) == [True] * 4
+
+    def test_lying_but_consistent_aux_cannot_flip_the_outcome(self, small_group, rng):
+        # An aux commitment that passes the consistency screen (v % q == r)
+        # but is not the real g^k: the combined equation fails, bisection
+        # lands on the ground-truth individual verify, and the honest
+        # signature still accepts.
+        scheme = self._dsa(small_group)
+        items = self._items(scheme, rng, 4)
+        public_key, message, signature = items[2]
+        fake_v = signature.aux["v"] + scheme.group.q
+        if fake_v < scheme.group.p:
+            forged = Signature(
+                signature.scheme, signature.components, signature.wire_bits, aux={"v": fake_v}
+            )
+            items[2] = (public_key, message, forged)
+        assert self._agrees(scheme, items, rng) == [True] * 4
+
+    def test_ecdsa_negated_commitment_cannot_flip_the_outcome(self, rng):
+        # -R shares R's x-coordinate, so it passes the aux screen; the
+        # combined check fails and bisection restores the true accept.
+        scheme = self._ecdsa()
+        items = self._items(scheme, rng, 4)
+        public_key, message, signature = items[1]
+        point = scheme.curve.point(signature.aux["vx"], signature.aux["vy"]).negate()
+        forged = Signature(
+            signature.scheme,
+            signature.components,
+            signature.wire_bits,
+            aux={"vx": point.x, "vy": point.y},
+        )
+        items[1] = (public_key, message, forged)
+        assert self._agrees(scheme, items, rng) == [True] * 4
+
+    def test_rng_cannot_influence_outcomes(self, small_group, rng):
+        scheme = self._dsa(small_group)
+        items = self._items(scheme, rng, 5)
+        items[3] = (items[3][0], items[3][1] + b"!", items[3][2])
+        scheme._verify_cache.clear()
+        first = scheme.batch_verify(items, DeterministicRNG("stream-a"))
+        scheme._verify_cache.clear()
+        second = scheme.batch_verify(items, DeterministicRNG("stream-b"))
+        assert first == second == [True, True, True, False, True]
+
+    def test_sok_uses_the_loop_fallback(self, small_group, rng):
+        sok = SOKSignatureScheme(SimulatedPairingGroup(small_group))
+        assert not sok.has_batch_form
+        master = sok.generate_master_key(rng)
+        items = []
+        for index in range(3):
+            identity = b"party-%d" % index
+            key = sok.extract(master, identity)
+            items.append((identity, b"round", sok.sign(key, b"round", rng)))
+        items[1] = (b"someone-else", items[1][1], items[1][2])
+        results = sok.batch_verify(items, rng.fork("x"), master_public=master)
+        assert results == [True, False, True]
+
+    def test_unknown_kwargs_rejected_where_batched(self, small_group, rng):
+        scheme = self._dsa(small_group)
+        assert scheme.has_batch_form
+        with pytest.raises(ParameterError):
+            scheme.batch_verify([], rng, master_public=object())
 
 
 class TestOperationCount:
