@@ -18,6 +18,7 @@ Examples::
     python -m repro.campaign spec.json --workers 4
     python -m repro.campaign spec.json --workers 4 --cache-dir .campaign-cache \\
         --csv rows.csv --json result.json --pivot protocol:loss:energy_j
+    python -m repro.campaign --list-protocols
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ import sys
 from typing import List, Optional
 
 from ..backends.registry import available_backends
+from ..core.registry import describe_registry
 from ..exceptions import ReproError
 from ..profiling import maybe_profile
 from .execute import run_campaign
@@ -41,7 +43,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "every cell (optionally sharded over worker processes), and emit the "
         "aggregated rows.",
     )
-    parser.add_argument("spec", help="path to the campaign spec JSON ('-' for stdin)")
+    parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="path to the campaign spec JSON ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--list-protocols",
+        action="store_true",
+        help="print the protocol registry (names, aliases, tags) and exit",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -78,6 +90,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true", help="suppress the summary on stdout"
     )
     args = parser.parse_args(argv)
+
+    if args.list_protocols:
+        print(describe_registry())
+        return 0
+    if args.spec is None:
+        parser.error("spec is required unless --list-protocols is given")
 
     try:
         if args.spec == "-":

@@ -1,0 +1,364 @@
+"""Per-party machines for the hierarchical cluster-tree GKA.
+
+One :class:`_ClusterMachine` per member drives two phases on the event kernel:
+
+1. **Sub-protocol phase** (rekeying clusters only): the member's machine from
+   the intra-cluster sub-protocol runs *wrapped* — outbound round labels are
+   prefixed with the cluster scope (``ct/<uid>.e<epoch>/``) and broadcasts are
+   narrowed to the cluster's members, so concurrent sub-runs in different
+   clusters never collide and only cluster members are charged for the
+   traffic.  Inbound scoped messages are unwrapped and delegated.
+2. **Tree phase** (every member): starting from the cluster key, walk the
+   leaf-to-root path of :mod:`repro.cluster.tree`, combining the sibling
+   blinded keys; representatives broadcast the blinded key of every *dirty*
+   node they cover (``ct-bk/<label>``), and the root representative closes the
+   run with a key-confirmation digest (``ct-confirm/<label>``).  A member
+   whose computed root key contradicts the confirmation aborts with
+   :class:`~repro.exceptions.KeyConfirmationError` — under an active
+   adversary that abort is scored as *detection*.
+
+Timeout recovery needs no custom logic: every tree message's round label is
+unique and stored in ``sent``, so the executor's "all members retransmit the
+stalled round" default re-broadcasts exactly the missing blinded key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional
+
+from ..core.base import PartyState, SystemSetup
+from ..engine.machine import Outbound, PartyMachine
+from ..exceptions import KeyConfirmationError, ProtocolError
+from ..network.message import Message, group_element_part, identity_part
+from ..pki.identity import Identity
+from .tree import ClusterTree
+
+__all__ = ["ClusterCrew", "TreeRun", "ClusterMachine"]
+
+BK_PREFIX = "ct-bk/"
+CONFIRM_PREFIX = "ct-confirm/"
+
+#: wake payload asking a wrapper to re-check whether its inner machine
+#: finished (a shared sub-protocol coordinator can finish machines whose
+#: wrappers got no hook call)
+_CHECK_INNER = "cluster-check-inner"
+
+
+@dataclass(frozen=True)
+class _InnerWake:
+    """A sub-protocol coordinator wake-up routed through the wrapper."""
+
+    payload: object
+
+
+class _InnerContext:
+    """The context the wrapped sub-protocol machines see.
+
+    Sub-protocol coordinators call ``machine.context.wake(machine, payload)``
+    on their *own* machines; this shim reroutes that to the wrapper so the
+    kernel schedules the wrapper (which delegates back down).
+    """
+
+    def __init__(self, crew: "ClusterCrew") -> None:
+        self._crew = crew
+
+    def wake(self, inner: PartyMachine, payload: object) -> None:
+        wrapper = self._crew.wrapper_by_inner[id(inner)]
+        wrapper.context.wake(wrapper, _InnerWake(payload))
+
+
+class ClusterCrew:
+    """Shared per-cluster run state: scope, membership, the agreed key."""
+
+    def __init__(
+        self,
+        uid: int,
+        epoch: int,
+        members: List[Identity],
+        *,
+        rekey: bool,
+        cluster_key: Optional[int] = None,
+    ) -> None:
+        self.uid = uid
+        self.epoch = epoch
+        self.members = list(members)
+        self.rekey = rekey
+        #: known up-front for unaffected clusters; set at sub-run completion
+        #: for rekeying ones
+        self.cluster_key = cluster_key
+        self.scope = f"ct/{uid}.e{epoch}/"
+        self.leader = members[0]
+        self.wrappers: List["ClusterMachine"] = []
+        self.wrapper_by_inner: Dict[int, "ClusterMachine"] = {}
+        self.inner_context = _InnerContext(self)
+
+    def adopt(self, wrapper: "ClusterMachine") -> None:
+        self.wrappers.append(wrapper)
+        if wrapper.inner is not None:
+            self.wrapper_by_inner[id(wrapper.inner)] = wrapper
+            wrapper.inner.context = self.inner_context
+
+    @property
+    def recipients(self) -> tuple:
+        return tuple(self.members)
+
+
+class TreeRun:
+    """Shared public context of one run's tree phase."""
+
+    def __init__(
+        self,
+        tree: ClusterTree,
+        prior_bk: Dict[str, int],
+        setup: SystemSetup,
+    ) -> None:
+        self.tree = tree
+        self.setup = setup
+        #: blinded keys carried over from the previous run, limited to labels
+        #: still present in this run's tree (the "clean" nodes)
+        self.carried = {
+            label: bk for label, bk in prior_bk.items() if label in tree.nodes
+        }
+        #: labels whose blinded keys must be recomputed and rebroadcast
+        self.dirty = frozenset(tree.dirty_labels(self.carried))
+
+    def confirm_digest(self, root_key: int) -> int:
+        hf = self.setup.hash_function
+        return hf.digest_int(
+            b"cluster-confirm",
+            self.tree.root_label.encode(),
+            root_key.to_bytes((root_key.bit_length() + 7) // 8 or 1, "big"),
+        )
+
+
+class ClusterMachine(PartyMachine):
+    """One member's view of a hierarchical cluster-tree run."""
+
+    def __init__(
+        self,
+        party: PartyState,
+        setup: SystemSetup,
+        crew: ClusterCrew,
+        run: TreeRun,
+        inner: Optional[PartyMachine] = None,
+    ) -> None:
+        super().__init__(party.identity, party.node)
+        self.party = party
+        self.setup = setup
+        self.crew = crew
+        self.run = run
+        self.inner = inner
+        #: this member's view of the blinded-key table
+        self.bk: Dict[str, int] = dict(run.carried)
+        #: secret exponents along this member's leaf-to-root path
+        self._secrets: Dict[str, int] = {}
+        self._path = run.tree.path_from_leaf(self._leaf_label())
+        self._in_tree = False
+        self._root_key: Optional[int] = None
+        self._confirm_expected: Optional[int] = None
+        self._pending_confirm: Optional[int] = None
+        crew.adopt(self)
+
+    # ----------------------------------------------------------------- hooks
+    def start(self, now: float) -> List[Outbound]:
+        if self.inner is not None:
+            return self._after_inner(self.inner.start(now), now)
+        # Unaffected cluster: the key is already shared; go straight to the tree.
+        return self._enter_tree(now)
+
+    def on_message(self, message: Message, now: float) -> List[Outbound]:
+        label = message.round_label
+        if label.startswith(self.crew.scope):
+            if self.inner is None:
+                return []
+            unscoped = dc_replace(message, round_label=label[len(self.crew.scope):])
+            return self._after_inner(self.inner.on_message(unscoped, now), now)
+        if label.startswith(BK_PREFIX):
+            node_label = label[len(BK_PREFIX):]
+            if node_label in self.run.tree.nodes and node_label not in self.bk:
+                self.bk[node_label] = int(message.value("bk"))
+                if self._in_tree and not self.finished:
+                    return self._advance(now)
+            return []
+        if label.startswith(CONFIRM_PREFIX):
+            if label[len(CONFIRM_PREFIX):] == self.run.tree.root_label:
+                self._pending_confirm = int(message.value("confirm"))
+                if self._root_key is not None and not self.finished:
+                    self._check_confirm()
+            return []
+        return []
+
+    def on_wake(self, payload: object, now: float) -> List[Outbound]:
+        if isinstance(payload, _InnerWake) and self.inner is not None:
+            return self._after_inner(self.inner.on_wake(payload.payload, now), now)
+        if payload == _CHECK_INNER:
+            if (
+                self.inner is not None
+                and self.inner.finished
+                and not self._in_tree
+            ):
+                return self._enter_tree(now)
+        return []
+
+    # ------------------------------------------------------ sub-run plumbing
+    def _after_inner(self, outbounds: List[Outbound], now: float) -> List[Outbound]:
+        wrapped = [
+            Outbound(
+                dc_replace(
+                    out.message,
+                    round_label=self.crew.scope + out.message.round_label,
+                    recipients=(
+                        self.crew.recipients
+                        if out.message.recipients is None
+                        else out.message.recipients
+                    ),
+                )
+            )
+            for out in outbounds
+        ]
+        if self.inner.finished and not self._in_tree:
+            # A shared coordinator may have finished cluster-mates whose
+            # wrappers got no hook — nudge them to check.
+            for mate in self.crew.wrappers:
+                if mate is not self and not mate._in_tree and mate.context is not None:
+                    self.context.wake(mate, _CHECK_INNER)
+            wrapped.extend(self._enter_tree(now))
+        elif not self.finished:
+            inner_waiting = self.inner.waiting_for
+            self.waiting_for = (
+                self.crew.scope + inner_waiting if inner_waiting else self.waiting_for
+            )
+        return wrapped
+
+    # ------------------------------------------------------------ tree phase
+    def _leaf_label(self) -> str:
+        from .tree import leaf_label
+
+        return leaf_label(self.crew.uid, self.crew.epoch)
+
+    def _enter_tree(self, now: float) -> List[Outbound]:
+        self._in_tree = True
+        if self.crew.rekey and self.crew.cluster_key is None:
+            self.crew.cluster_key = self.party.group_key
+        key = self.crew.cluster_key if not self.crew.rekey else self.party.group_key
+        if key is None:
+            raise ProtocolError(
+                f"cluster c{self.crew.uid} entered the tree phase without a cluster key"
+            )
+        group = self.setup.group
+        hf = self.setup.hash_function
+        leaf = self._path[0]
+        k_leaf = hf.hash_to_zq(
+            b"cluster-leaf",
+            leaf.label.encode(),
+            key.to_bytes((key.bit_length() + 7) // 8 or 1, "big"),
+            q=group.q,
+        )
+        self.party.recorder.record_operation("hash")
+        self._secrets[leaf.label] = k_leaf
+        outs: List[Outbound] = []
+        if (
+            leaf.rep_name == self.identity.name
+            and leaf.label in self.run.dirty
+            and leaf.label != self.run.tree.root_label
+            and leaf.label not in self.bk
+        ):
+            bk = group.exp_g(k_leaf)
+            self.party.recorder.record_operation("modexp")
+            self.bk[leaf.label] = bk
+            outs.append(self._bk_message(leaf.label, bk))
+        outs.extend(self._advance(now))
+        return outs
+
+    def _advance(self, now: float) -> List[Outbound]:
+        group = self.setup.group
+        hf = self.setup.hash_function
+        tree = self.run.tree
+        outs: List[Outbound] = []
+        for child, node in zip(self._path, self._path[1:]):
+            if node.label in self._secrets:
+                continue
+            sibling = tree.sibling(child.label)
+            if sibling not in self.bk:
+                self.waiting_for = BK_PREFIX + sibling
+                return outs
+            shared = group.power(self.bk[sibling], self._secrets[child.label])
+            self.party.recorder.record_operation("modexp")
+            k_node = hf.hash_to_zq(
+                b"cluster-node",
+                node.label.encode(),
+                shared.to_bytes((shared.bit_length() + 7) // 8 or 1, "big"),
+                q=group.q,
+            )
+            self.party.recorder.record_operation("hash")
+            self._secrets[node.label] = k_node
+            if (
+                node.rep_name == self.identity.name
+                and node.label in self.run.dirty
+                and node.label != tree.root_label
+                and node.label not in self.bk
+            ):
+                bk = group.exp_g(k_node)
+                self.party.recorder.record_operation("modexp")
+                self.bk[node.label] = bk
+                outs.append(self._bk_message(node.label, bk))
+        outs.extend(self._complete())
+        return outs
+
+    def _complete(self) -> List[Outbound]:
+        tree = self.run.tree
+        root_label = tree.root_label
+        if self._root_key is None:
+            group = self.setup.group
+            self._root_key = group.exp_g(self._secrets[root_label])
+            self.party.recorder.record_operation("modexp")
+            self.party.group_key = self._root_key
+        if self._confirm_expected is None:
+            self._confirm_expected = self.run.confirm_digest(self._root_key)
+            self.party.recorder.record_operation("hash")
+        digest = self._confirm_expected
+        if tree.nodes[root_label].rep_name == self.identity.name:
+            message = Message.broadcast(
+                self.identity,
+                CONFIRM_PREFIX + root_label,
+                [
+                    identity_part(self.identity),
+                    group_element_part(
+                        "confirm", digest, self.setup.hash_function.output_bits
+                    ),
+                ],
+            )
+            self.finished = True
+            self.waiting_for = None
+            return [Outbound(message)]
+        if self._pending_confirm is not None:
+            self._check_confirm()
+        else:
+            self.waiting_for = CONFIRM_PREFIX + root_label
+        return []
+
+    def _check_confirm(self) -> None:
+        expected = self._confirm_expected
+        if expected is None:
+            expected = self._confirm_expected = self.run.confirm_digest(self._root_key)
+            self.party.recorder.record_operation("hash")
+        if self._pending_confirm != expected:
+            raise KeyConfirmationError(
+                f"{self.identity.name}: cluster-tree key confirmation failed "
+                f"(root {self.run.tree.root_label})"
+            )
+        self.finished = True
+        self.waiting_for = None
+
+    def _bk_message(self, node_label: str, bk: int) -> Outbound:
+        return Outbound(
+            Message.broadcast(
+                self.identity,
+                BK_PREFIX + node_label,
+                [
+                    identity_part(self.identity),
+                    group_element_part("bk", bk, self.setup.group.element_bits),
+                ],
+            )
+        )

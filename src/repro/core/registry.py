@@ -38,12 +38,17 @@ __all__ = [
     "create_protocol",
     "available_protocols",
     "resolve_protocol",
+    "protocol_tags",
+    "registry_entries",
+    "describe_registry",
 ]
 
 #: canonical name -> factory(setup) -> Protocol
 _FACTORIES: Dict[str, Callable[["SystemSetup"], "Protocol"]] = {}
 #: alias -> canonical name
 _ALIASES: Dict[str, str] = {}
+#: canonical name -> frozenset of classification tags (e.g. {"cluster"})
+_TAGS: Dict[str, frozenset] = {}
 _BUILTINS_LOADED = False
 
 
@@ -52,6 +57,7 @@ def register_protocol(
     factory: Optional[Callable[["SystemSetup"], "Protocol"]] = None,
     *,
     aliases: Sequence[str] = (),
+    tags: Sequence[str] = (),
     replace: bool = False,
 ):
     """Register a protocol factory under ``name`` (plus ``aliases``).
@@ -59,6 +65,10 @@ def register_protocol(
     ``factory`` is any callable taking a :class:`~repro.core.base.SystemSetup`
     and returning a :class:`~repro.core.base.Protocol`; protocol classes whose
     constructor takes only the setup can be registered directly.
+
+    ``tags`` classify the protocol for callers that select subsets of the
+    registry — e.g. the hierarchical protocols carry ``"cluster"`` so the
+    flat-protocol golden-fixture harness can exclude them without naming them.
 
     Called without a ``factory``, returns a decorator — the idiomatic form
     for third-party protocol classes::
@@ -69,7 +79,7 @@ def register_protocol(
     """
     if factory is None:
         def decorator(cls: Callable[["SystemSetup"], "Protocol"]):
-            register_protocol(name, cls, aliases=aliases, replace=replace)
+            register_protocol(name, cls, aliases=aliases, tags=tags, replace=replace)
             return cls
 
         return decorator
@@ -78,6 +88,7 @@ def register_protocol(
     if not replace and (name in _FACTORIES or name in _ALIASES):
         raise ParameterError(f"protocol {name!r} is already registered")
     _FACTORIES[name] = factory
+    _TAGS[name] = frozenset(tags)
     for alias in aliases:
         if not replace and (alias in _FACTORIES or alias in _ALIASES):
             raise ParameterError(f"protocol alias {alias!r} is already registered")
@@ -95,6 +106,7 @@ def _load_builtins() -> None:
     # on the next lookup instead of masquerading as "unknown protocol".
     from . import gka  # noqa: F401
     from .. import baselines  # noqa: F401
+    from .. import cluster  # noqa: F401
 
     _BUILTINS_LOADED = True
 
@@ -130,3 +142,38 @@ def available_protocols(*, include_aliases: bool = False) -> List[str]:
     if include_aliases:
         names |= set(_ALIASES)
     return sorted(names)
+
+
+def protocol_tags(name: str) -> frozenset:
+    """The classification tags of a registered protocol (empty when untagged)."""
+    return _TAGS.get(resolve_protocol(name), frozenset())
+
+
+def describe_registry() -> str:
+    """Human-readable registry listing (the CLIs' ``--list-protocols``)."""
+    rows = registry_entries()
+    width = max(len(name) for name, _, _ in rows)
+    lines = [f"{len(rows)} registered protocols:"]
+    for name, aliases, tags in rows:
+        line = f"  {name:<{width}}"
+        if aliases:
+            line += f"  aliases: {', '.join(aliases)}"
+        if tags:
+            line += f"  [{', '.join(sorted(tags))}]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def registry_entries() -> List[tuple]:
+    """``(name, aliases, tags)`` per canonical protocol, sorted by name.
+
+    The listing behind the CLIs' ``--list-protocols``: one row per canonical
+    name with its aliases and tags, so users discover e.g. that
+    ``cluster-bd`` resolves to ``cluster-tree[bd]``.
+    """
+    _load_builtins()
+    rows = []
+    for name in sorted(_FACTORIES):
+        aliases = tuple(sorted(a for a, canon in _ALIASES.items() if canon == name))
+        rows.append((name, aliases, _TAGS.get(name, frozenset())))
+    return rows

@@ -33,6 +33,7 @@ Examples::
     python -m repro.sim spec.json
     python -m repro.sim spec.json --protocols proposed-gka,bd,ssn \\
         --adversary mitm --engine radio --csv out.csv --json out.json
+    python -m repro.sim --list-protocols
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ from typing import List, Optional
 from ..adversary.config import ATTACKER_PRESETS
 from ..backends.registry import available_backends, set_default_backend
 from ..core.base import SystemSetup
-from ..core.registry import available_protocols
+from ..core.registry import available_protocols, describe_registry
 from ..exceptions import ReproError
 from ..profiling import maybe_profile
 from .report import comparison_csv, comparison_json, comparison_table
@@ -61,11 +62,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run a JSON scenario spec under one or more protocols "
         "and emit the cross-protocol comparison.",
     )
-    parser.add_argument("spec", help="path to the scenario spec JSON ('-' for stdin)")
+    parser.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="path to the scenario spec JSON ('-' for stdin)",
+    )
     parser.add_argument(
         "--protocols",
         default=None,
         help="comma-separated registry names (default: every registered protocol)",
+    )
+    parser.add_argument(
+        "--list-protocols",
+        action="store_true",
+        help="print the protocol registry (names, aliases, tags) and exit",
     )
     parser.add_argument(
         "--adversary",
@@ -101,6 +112,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quiet", action="store_true", help="suppress the comparison table on stdout"
     )
     args = parser.parse_args(argv)
+
+    if args.list_protocols:
+        print(describe_registry())
+        return 0
+    if args.spec is None:
+        parser.error("spec is required unless --list-protocols is given")
 
     try:
         if args.spec == "-":

@@ -26,13 +26,13 @@ import json
 from typing import Dict, List
 
 from repro.core import SystemSetup
-from repro.core.registry import available_protocols, create_protocol
+from repro.core.registry import available_protocols, create_protocol, protocol_tags
 from repro.mathutils.rand import DeterministicRNG
 from repro.network.events import JoinEvent, LeaveEvent, MergeEvent, PartitionEvent
 from repro.network.medium import BroadcastMedium
 from repro.pki import Identity
 
-__all__ = ["run_workloads", "FIXTURE_RELPATH"]
+__all__ = ["run_workloads", "flat_protocols", "FIXTURE_RELPATH"]
 
 #: Where the golden capture lives, relative to the tests directory.
 FIXTURE_RELPATH = "fixtures/engine_equivalence.json"
@@ -171,10 +171,25 @@ def _event_chain(protocol_name: str) -> Dict[str, object]:
     return {"steps": steps, "medium": _capture_medium(medium)}
 
 
+def flat_protocols() -> List[str]:
+    """The registry's flat protocols — the ones the golden capture pins.
+
+    The hierarchical ``cluster`` protocols are excluded by tag rather than by
+    name: they were added after the fixture was frozen and their state is
+    sparse per-cluster, so they carry their own correctness suite
+    (``test_cluster.py``) instead of a seed capture.
+    """
+    return [
+        name
+        for name in available_protocols()
+        if "cluster" not in protocol_tags(name)
+    ]
+
+
 def run_workloads() -> Dict[str, object]:
     """Execute every equivalence workload and return the capture dictionary."""
     capture: Dict[str, object] = {}
-    for protocol_name in available_protocols():
+    for protocol_name in flat_protocols():
         capture[protocol_name] = {
             "lossless": _lossless_run(protocol_name),
             "lossy": _lossy_run(protocol_name),

@@ -97,6 +97,31 @@ class TestGoldenOutputs:
         assert "proposed-gka" in capsys.readouterr().out
 
 
+class TestListProtocols:
+    def test_sim_cli_lists_the_registry(self, capsys):
+        assert sim_main(["--list-protocols"]) == 0
+        out = capsys.readouterr().out
+        from repro.core.registry import available_protocols
+
+        for name in available_protocols():
+            assert name in out
+        assert "aliases: cluster-bd" in out
+        assert "[cluster]" in out
+
+    def test_campaign_cli_lists_the_registry(self, capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        assert campaign_main(["--list-protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-tree[gka]" in out and "proposed-gka" in out
+
+    def test_omitting_the_spec_without_the_flag_errors(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            sim_main([])
+        assert excinfo.value.code == 2
+        assert "spec is required" in capsys.readouterr().err
+
+
 class TestErrorPaths:
     def test_missing_spec_file_exits_2(self, capsys):
         assert sim_main(["/no/such/spec.json"]) == 2
