@@ -1,0 +1,125 @@
+"""Fleet scaling: distributed orchestration must not tax the campaign.
+
+The fleet layer (controller + TCP workers, :mod:`repro.fleet`) re-runs the
+campaign-scaling question across a real socket boundary:
+
+* **determinism first** — a fleet of two socket workers must assemble the
+  exact rows ``run_campaign(workers=1)`` produces, on any machine (this half
+  is unconditional);
+* **throughput second** — with real cores to spend, two workers must beat
+  the serial loop (gated on CPU count like the campaign-scaling bound; set
+  ``FLEET_SCALING_STRICT=1`` to fail instead of skip);
+* **orchestration overhead** — dispatch framing, heartbeats and streamed
+  assembly must stay a small multiple of the serial loop even on one core,
+  pinned via the recorded metrics rather than a hard assert (one-core boxes
+  time-slice two workers, so wall time there measures the scheduler, not us).
+
+The module's ``BENCH_fleet_scaling.json`` artifact records the cell count,
+serial and fleet wall times, the speedup, and the streamed row rate, feeding
+the committed perf trajectory (``check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.fleet import run_fleet_campaign
+
+FLEET_GRID = CampaignSpec(
+    name="fleet-scaling",
+    protocols=("proposed-gka", "bd-unauthenticated", "ssn"),
+    group_sizes=(12,),
+    losses=(0.0, 0.1),
+    schedule={"kind": "poisson", "length": 4},
+    engines=("fixed:0.002",),
+    seed="fleet-bench",
+)
+
+WORKERS = 2
+REQUIRED_SPEEDUP = 1.3
+
+
+def _enough_cpus() -> bool:
+    return (os.cpu_count() or 1) >= WORKERS + 1  # workers plus the controller
+
+
+class TestFleetScaling:
+    def test_grid_shape(self):
+        assert len(FLEET_GRID.cells()) == 3 * 2
+
+    def test_fleet_is_bit_identical_to_serial_and_streams_rows(self, bench_artifact):
+        started = time.perf_counter()
+        serial = run_campaign(FLEET_GRID, workers=1)
+        serial_s = time.perf_counter() - started
+
+        snapshots = []
+        started = time.perf_counter()
+        fleet = run_fleet_campaign(
+            FLEET_GRID, workers=WORKERS, on_progress=snapshots.append
+        )
+        fleet_s = time.perf_counter() - started
+
+        assert serial.failures() == [] and fleet.failures() == []
+        assert fleet.deterministic_rows() == serial.deterministic_rows()
+        # Rows stream in as they finish, not all at once at the end.
+        done_counts = sorted({snapshot.done for snapshot in snapshots})
+        assert len(done_counts) > 2
+        assert snapshots[-1].complete
+
+        speedup = serial_s / fleet_s if fleet_s else float("inf")
+        rate = snapshots[-1].rows_per_s
+        print(
+            f"\nfleet scaling: {len(serial.rows)} cells, "
+            f"serial {serial_s:.2f}s vs {WORKERS} socket workers {fleet_s:.2f}s "
+            f"-> {speedup:.2f}x, {rate:.1f} rows/s streamed"
+        )
+        bench_artifact.record("cells", len(serial.rows))
+        bench_artifact.record("serial_seconds", round(serial_s, 3))
+        bench_artifact.record(f"fleet_{WORKERS}w_seconds", round(fleet_s, 3))
+        bench_artifact.record("fleet_speedup", round(speedup, 3))
+        bench_artifact.record("rows_per_s", round(rate, 3))
+
+    @pytest.mark.skipif(
+        not _enough_cpus() and not os.environ.get("FLEET_SCALING_STRICT"),
+        reason=f"speedup bound needs >= {WORKERS + 1} CPUs (found {os.cpu_count()})",
+    )
+    def test_two_socket_workers_beat_the_serial_loop(self, bench_artifact):
+        run_campaign(  # warm the parameter caches the forked workers inherit
+            CampaignSpec(
+                name="fleet-scaling-warmup",
+                protocols=FLEET_GRID.protocols,
+                group_sizes=(4,),
+                seed="warmup",
+            ),
+            workers=1,
+        )
+        started = time.perf_counter()
+        serial = run_campaign(FLEET_GRID, workers=1)
+        serial_s = time.perf_counter() - started
+        started = time.perf_counter()
+        fleet = run_fleet_campaign(FLEET_GRID, workers=WORKERS)
+        fleet_s = time.perf_counter() - started
+
+        assert fleet.deterministic_rows() == serial.deterministic_rows()
+        speedup = serial_s / fleet_s if fleet_s else float("inf")
+        bench_artifact.record("gated_fleet_speedup", round(speedup, 3))
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x with {WORKERS} socket workers, "
+            f"got {speedup:.2f}x ({serial_s:.2f}s -> {fleet_s:.2f}s)"
+        )
+
+    def test_warm_cache_fleet_run_short_circuits(self, tmp_path, bench_artifact):
+        # A fully cached campaign forks no workers and ships no cells; the
+        # whole "run" is the plan replaying rows from disk.
+        cold = run_fleet_campaign(FLEET_GRID, workers=WORKERS, cache_dir=str(tmp_path))
+        started = time.perf_counter()
+        warm = run_fleet_campaign(FLEET_GRID, workers=WORKERS, cache_dir=str(tmp_path))
+        warm_s = time.perf_counter() - started
+        assert (warm.cache_hits, warm.cache_misses) == (len(FLEET_GRID.cells()), 0)
+        assert warm.deterministic_rows() == cold.deterministic_rows()
+        bench_artifact.record("cache_warm_fleet_seconds", round(warm_s, 3))
+        assert warm_s < 5.0  # no fleet, no simulation — just disk replay

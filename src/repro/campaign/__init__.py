@@ -38,6 +38,7 @@ Quickstart::
 
 from .cache import CACHE_VERSION, ResultCache, payload_hash
 from .execute import execute_cell, run_campaign
+from .plan import CampaignPlan, plan_campaign
 from .result import NONDETERMINISTIC_FIELDS, CampaignResult, mean, total
 from .spec import AXIS_NAMES, CampaignCell, CampaignSpec
 
@@ -45,6 +46,7 @@ __all__ = [
     "AXIS_NAMES",
     "CACHE_VERSION",
     "CampaignCell",
+    "CampaignPlan",
     "CampaignResult",
     "CampaignSpec",
     "NONDETERMINISTIC_FIELDS",
@@ -52,6 +54,7 @@ __all__ = [
     "execute_cell",
     "mean",
     "payload_hash",
+    "plan_campaign",
     "run_campaign",
     "total",
 ]

@@ -18,6 +18,7 @@ Examples::
     python -m repro.campaign spec.json --workers 4
     python -m repro.campaign spec.json --workers 4 --cache-dir .campaign-cache \\
         --csv rows.csv --json result.json --pivot protocol:loss:energy_j
+    python -m repro.campaign spec.json --dry-run --cache-dir .campaign-cache
     python -m repro.campaign --list-protocols
 """
 
@@ -33,6 +34,7 @@ from ..core.registry import describe_registry
 from ..exceptions import ReproError
 from ..profiling import maybe_profile
 from .execute import run_campaign
+from .plan import plan_campaign
 from .spec import AXIS_NAMES, CampaignSpec
 
 
@@ -64,6 +66,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--cache-dir",
         default=None,
         help="content-hash result cache directory (re-runs replay unchanged cells)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the expanded cell grid (count, axis values, cached-vs-"
+        "pending split when --cache-dir is set) without running anything",
     )
     parser.add_argument("--csv", default=None, help="write the long-form rows CSV here")
     parser.add_argument("--json", default=None, help="write the full result JSON here")
@@ -120,6 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # A mistyped spec should print one line, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.dry_run:
+        # The pre-flight report: what would run, what the cache already has.
+        print(plan_campaign(spec, cache_dir=args.cache_dir).describe())
+        return 0
 
     workers = 1 if args.profile else args.workers
     with maybe_profile(args.profile):

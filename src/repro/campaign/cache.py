@@ -12,6 +12,13 @@ The cache layout is one ``<sha256>.json`` file per cell under the cache
 directory — trivially inspectable, safe to delete wholesale, and naturally
 shared between campaigns that happen to contain identical cells.
 
+Robustness contract: a cache entry can **never** take a campaign down.  A
+truncated file, non-JSON garbage, or valid JSON of the wrong shape (anything
+but an object with the row's identifying fields) is logged at warning level
+and treated as a miss — the cell recomputes and the entry is overwritten.
+:meth:`ResultCache.prune` bounds the directory by age and/or entry count for
+long-lived caches shared across many campaigns.
+
 ``CACHE_VERSION`` is baked into every key; bump it whenever the simulation's
 observable outputs change so stale results can never masquerade as fresh
 ones.
@@ -21,13 +28,21 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
-from typing import Dict, Mapping, Optional
+import time
+from typing import Dict, List, Mapping, Optional
 
 __all__ = ["CACHE_VERSION", "ResultCache", "payload_hash"]
 
 #: Bump on any change to what execute_cell computes from a payload.
 CACHE_VERSION = 1
+
+#: A stored row must at least identify its cell; anything less is garbage
+#: (e.g. a JSON scalar or a file from some other tool sharing the directory).
+_REQUIRED_ROW_KEYS = ("campaign", "cell")
+
+logger = logging.getLogger(__name__)
 
 
 def payload_hash(payload: Mapping) -> str:
@@ -57,13 +72,25 @@ class ResultCache:
         return os.path.join(self.directory, payload_hash(payload) + ".json")
 
     def get(self, payload: Mapping) -> Optional[Dict[str, object]]:
-        """The cached row for ``payload``, or ``None`` (a corrupt or missing
-        entry counts as a miss and will be recomputed)."""
+        """The cached row for ``payload``, or ``None``.
+
+        A missing entry is a plain miss; a corrupt one (truncated write,
+        non-JSON bytes, JSON of the wrong shape) is logged and counted as a
+        miss too — the caller recomputes and the bad entry gets overwritten.
+        """
         path = self._path(payload)
         try:
             with open(path, encoding="utf-8") as handle:
                 row = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            logger.warning("corrupt cache entry %s (%s): recomputing", path, exc)
+            self.misses += 1
+            return None
+        if not isinstance(row, dict) or any(key not in row for key in _REQUIRED_ROW_KEYS):
+            logger.warning("cache entry %s is not a result row: recomputing", path)
             self.misses += 1
             return None
         self.hits += 1
@@ -78,6 +105,51 @@ class ResultCache:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(stored, handle)
         os.replace(tmp, path)
+
+    # ------------------------------------------------------------ maintenance
+    def prune(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Delete old and/or surplus entries; return how many were removed.
+
+        ``max_age_s`` drops entries whose mtime is older than that many
+        seconds; ``max_entries`` then keeps only the newest N.  Entries that
+        vanish concurrently (another process pruning the shared directory)
+        are skipped silently — the cache is advisory storage, never truth.
+        """
+        entries: List[tuple] = []
+        now = time.time()
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            entries.append((mtime, path))
+        doomed = []
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            doomed.extend(path for mtime, path in entries if mtime < cutoff)
+            entries = [(m, p) for m, p in entries if m >= cutoff]
+        if max_entries is not None and len(entries) > max_entries:
+            entries.sort(reverse=True)  # newest first
+            doomed.extend(path for _, path in entries[max_entries:])
+        removed = 0
+        for path in doomed:
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                continue
+        if removed:
+            logger.info("pruned %d cache entr%s from %s",
+                        removed, "y" if removed == 1 else "ies", self.directory)
+        return removed
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))

@@ -67,6 +67,15 @@ class NetworkError(ReproError):
     """Simulated network failure (undeliverable message, unknown node...)."""
 
 
+class FleetError(ReproError):
+    """Distributed campaign orchestration failure (controller/worker layer).
+
+    Raised for *host*-side problems — a malformed frame, a worker talking a
+    different protocol version, a controller with no workers left — never for
+    a cell whose simulation failed (those become ``error`` rows, exactly as
+    in the single-machine campaign runner)."""
+
+
 class EnergyModelError(ReproError):
     """The energy accounting layer was asked for an unknown operation or
     device."""

@@ -1,0 +1,62 @@
+"""Live fleet progress: cells done/in-flight/cached, throughput, ETA, health.
+
+The controller emits a :class:`FleetProgress` snapshot after every state
+change (worker join/loss, dispatch, row received).  It is a plain frozen
+value — callbacks can store, diff or render it without touching controller
+state — and :meth:`FleetProgress.render` gives the canonical one-line view
+the CLI and the example stream to stderr::
+
+    fleet: 37/60 cells (12 cached, 4 in flight) | 3.1 rows/s | eta 7s | workers: 4 ok
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["FleetProgress", "WorkerView"]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """One worker's health as the controller sees it."""
+
+    name: str
+    pid: int
+    state: str  # "busy" | "idle"
+    cells_done: int
+    current_cell: str = ""
+
+
+@dataclass(frozen=True)
+class FleetProgress:
+    """One instant of a fleet campaign's life."""
+
+    campaign: str
+    total: int
+    done: int  # rows filled (computed + cached + error rows)
+    cached: int  # rows served from the result cache (never dispatched)
+    in_flight: int  # units currently on a worker
+    pending: int  # units still queued
+    elapsed_s: float
+    rows_per_s: float  # computed rows only — cache replays don't inflate it
+    eta_s: Optional[float]  # None until a rate is established
+    workers: Dict[str, WorkerView] = field(default_factory=dict)
+    worker_losses: int = 0
+    requeues: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+    def render(self) -> str:
+        """The canonical one-line progress view."""
+        eta = f"eta {self.eta_s:.0f}s" if self.eta_s is not None else "eta ?"
+        health = f"{len(self.workers)} ok"
+        if self.worker_losses:
+            health += f", {self.worker_losses} lost"
+        return (
+            f"fleet: {self.done}/{self.total} cells "
+            f"({self.cached} cached, {self.in_flight} in flight) | "
+            f"{self.rows_per_s:.1f} rows/s | {eta} | workers: {health}"
+        )

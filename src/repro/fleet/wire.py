@@ -1,0 +1,105 @@
+"""Length-prefixed JSON framing for the fleet's TCP links.
+
+Everything the controller and its workers exchange — registration, campaign
+cells, result rows, heartbeats, shutdown — is a plain JSON object, which the
+campaign layer already guarantees is all a cell needs
+(:mod:`repro.campaign.spec` payloads are JSON work orders by construction).
+A frame is a 4-byte big-endian length followed by the UTF-8 canonical JSON of
+one message dict, so the stream needs no sentinels, escapes or read-ahead
+heuristics; :class:`FrameDecoder` reassembles messages from arbitrary TCP
+segment boundaries.
+
+Every message carries a ``"type"`` key (one of :data:`MESSAGE_TYPES`).  The
+framing layer is deliberately dumb about semantics: validation beyond "this
+is a JSON object with a known type" belongs to the controller/worker state
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, List
+
+from ..exceptions import FleetError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "MESSAGE_TYPES",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "encode_frame",
+    "send_message",
+]
+
+#: Bump on any incompatible change to the message shapes below.
+PROTOCOL_VERSION = 1
+
+#: Frames above this are a protocol violation, not a big campaign: a cell
+#: payload or result row is a few KiB; 64 MiB means a corrupt length prefix.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+#: worker -> controller: hello, row, heartbeat, bye;
+#: controller -> worker: welcome, cell, shutdown.
+MESSAGE_TYPES = ("hello", "welcome", "cell", "row", "heartbeat", "shutdown", "bye")
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """One message dict as its wire frame (length prefix + canonical JSON)."""
+    kind = message.get("type")
+    if kind not in MESSAGE_TYPES:
+        raise FleetError(f"unknown fleet message type {kind!r}")
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FleetError(f"fleet frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Reassembles message dicts from a TCP byte stream.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames across
+    calls and yields every complete message, in order.  A corrupt length
+    prefix or non-JSON body raises :class:`~repro.exceptions.FleetError` —
+    the link is then unrecoverable and the peer should be dropped.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, object]]:
+        """Absorb ``data``; return the messages it completed."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, object]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FleetError(
+                    f"frame length {length} exceeds {MAX_FRAME_BYTES} "
+                    "(corrupt stream or non-fleet peer)"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                return messages
+            body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            try:
+                message = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FleetError(f"undecodable fleet frame: {exc}") from None
+            if not isinstance(message, dict) or message.get("type") not in MESSAGE_TYPES:
+                raise FleetError(f"malformed fleet message: {str(message)[:200]!r}")
+            messages.append(message)
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame (diagnostics only)."""
+        return len(self._buffer)
+
+
+def send_message(sock: socket.socket, message: Dict[str, object]) -> None:
+    """Write one framed message to a (blocking) socket."""
+    sock.sendall(encode_frame(message))

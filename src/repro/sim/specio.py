@@ -350,13 +350,23 @@ def engine_to_spec(engine: Optional[EngineConfig]) -> Union[str, Dict[str, objec
 
 # ----------------------------------------------------------------- scenarios
 def build_scenario(spec: Mapping, *, adversary_override: Optional[str] = None) -> Scenario:
-    """Turn a parsed JSON spec into a :class:`Scenario`."""
+    """Turn a parsed JSON spec into a :class:`Scenario`.
+
+    Unknown keys raise :class:`~repro.exceptions.ParameterError` — scenario
+    specs cross process and *network* boundaries (the campaign workers, the
+    fleet wire protocol), so a typo must come back as one clean error line,
+    not a ``TypeError`` traceback from the dataclass constructor.
+    """
     spec = dict(spec)
     adversary_spec = spec.pop("adversary", None)
     if adversary_override is not None:
         adversary_spec = adversary_override
     if "seed" in spec:
         spec["seed"] = build_seed(spec["seed"])
+    handled = {"name", "initial_size", "schedule", "mobility"}
+    unknown = set(spec) - set(Scenario.__dataclass_fields__) - handled
+    if unknown:
+        raise ParameterError(f"unknown scenario spec keys: {sorted(unknown)}")
     return Scenario(
         name=spec.pop("name", "cli-scenario"),
         initial_size=int(spec.pop("initial_size", 8)),

@@ -17,6 +17,7 @@ import io
 import json
 import os
 import random
+import time
 
 import pytest
 
@@ -390,6 +391,74 @@ class TestResultCache:
         rerun = run_campaign(spec, cache_dir=str(tmp_path))
         assert rerun.cache_hits == 0  # the failure was recomputed, not replayed
 
+    def test_every_corruption_shape_is_a_logged_miss_never_a_crash(self, tmp_path, caplog):
+        # The robustness contract: truncated writes, binary garbage, empty
+        # files, JSON of the wrong shape and rows missing their identity keys
+        # all log a warning and count as a miss — none can crash a campaign.
+        from repro.campaign import ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        payload = {"campaign": "unit", "cell": "k", "axes": {}}
+        cache.put(payload, {"campaign": "unit", "cell": "k", "energy_j": 1.0})
+        (entry,) = [name for name in os.listdir(tmp_path) if name.endswith(".json")]
+        corruptions = [
+            b'{"campaign": "unit", "cell": "tr',  # truncated mid-write
+            b"\x00\xff\xfe garbage \x80",  # not UTF-8
+            b"",  # empty file
+            b"[1, 2, 3]",  # JSON, wrong shape
+            b'{"some": "dict", "without": "identity"}',  # dict, missing keys
+        ]
+        for garbage in corruptions:
+            (tmp_path / entry).write_bytes(garbage)
+            with caplog.at_level("WARNING", logger="repro.campaign.cache"):
+                caplog.clear()
+                assert cache.get(payload) is None
+            assert any("recomputing" in r.message for r in caplog.records)
+        assert cache.hits == 0 and cache.misses == len(corruptions)
+
+        # And end to end: a campaign over a fully corrupted cache recomputes
+        # bit-identically, then overwrites the bad entries.
+        spec = small_spec()
+        baseline = run_campaign(spec, cache_dir=str(tmp_path))
+        for name in os.listdir(tmp_path):
+            if name.endswith(".json"):
+                (tmp_path / name).write_bytes(b"\x00 not a row")
+        rerun = run_campaign(spec, cache_dir=str(tmp_path))
+        assert rerun.cache_hits == 0 and rerun.failures() == []
+        assert rerun.deterministic_rows() == baseline.deterministic_rows()
+        healed = run_campaign(spec, cache_dir=str(tmp_path))
+        assert healed.cache_hits == 2
+
+    def test_prune_by_age_and_count(self, tmp_path):
+        from repro.campaign import ResultCache
+
+        run_campaign(small_spec(losses=(0.0, 0.1, 0.2)), cache_dir=str(tmp_path))
+        cache = ResultCache(str(tmp_path))
+        assert len(cache) == 6
+        # Age out two entries by back-dating their mtimes.
+        entries = sorted(os.listdir(tmp_path))
+        old = time.time() - 3600
+        for name in entries[:2]:
+            os.utime(tmp_path / name, (old, old))
+        assert cache.prune(max_age_s=60) == 2
+        assert len(cache) == 4
+        # Then bound the survivors by count (newest kept).
+        assert cache.prune(max_entries=1) == 3
+        assert len(cache) == 1
+        # Idempotent and safe on an already-small cache.
+        assert cache.prune(max_age_s=60, max_entries=5) == 0
+        # The surviving entry still replays.
+        warm = run_campaign(small_spec(losses=(0.0, 0.1, 0.2)), cache_dir=str(tmp_path))
+        assert warm.cache_hits == 1 and warm.cache_misses == 5
+
+    def test_prune_ignores_foreign_files(self, tmp_path):
+        from repro.campaign import ResultCache
+
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        cache = ResultCache(str(tmp_path))
+        assert cache.prune(max_age_s=0.0) == 0
+        assert (tmp_path / "README.txt").exists()
+
 
 # ---------------------------------------------------------------------------
 # Crash isolation and aggregation
@@ -550,3 +619,56 @@ class TestCampaignCli:
         spec = self._spec_file(tmp_path)
         assert campaign_main([spec, "--pivot", "protocol-loss"]) == 2
         assert campaign_main([spec, "--workers", "0"]) == 2
+
+    def test_dry_run_prints_the_grid_without_running(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path, losses=[0.0, 0.1])
+        assert campaign_main([spec, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign : cli — 4 cells" in out
+        assert "protocol" in out and "proposed-gka, bd-unauthenticated" in out
+        assert "loss" in out and "0.0, 0.1" in out
+        assert "pending  : 4 (no cache dir)" in out
+
+    def test_dry_run_reports_the_cached_vs_pending_split(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        spec = self._spec_file(tmp_path)
+        assert campaign_main([spec, "--cache-dir", str(cache_dir)]) == 0
+        spec = self._spec_file(tmp_path, losses=[0.0, 0.1])
+        capsys.readouterr()
+        assert campaign_main([spec, "--dry-run", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign : cli — 4 cells" in out
+        assert f"cache    : 2 cached, 2 pending ({cache_dir})" in out
+        # Nothing ran: the new loss level is still pending afterwards.
+        assert len(list(cache_dir.glob("*.json"))) == 2
+
+
+# ---------------------------------------------------------------------------
+# Pre-flight planning (shared by --dry-run and the fleet controller)
+# ---------------------------------------------------------------------------
+
+class TestCampaignPlan:
+    def test_plan_expands_without_executing(self):
+        from repro.campaign import plan_campaign
+
+        spec = small_spec(losses=(0.0, 0.1))
+        plan = plan_campaign(spec)
+        assert plan.total == 4
+        assert plan.axes["protocol"] == ("proposed-gka", "bd-unauthenticated")
+        assert plan.axes["loss"] == (0.0, 0.1)
+        assert [cell.index for cell in plan.pending] == [0, 1, 2, 3]
+        assert plan.cached_rows == {}
+
+    def test_plan_splits_by_cache_state_in_grid_order(self, tmp_path):
+        from repro.campaign import plan_campaign
+
+        run_campaign(small_spec(), cache_dir=str(tmp_path))
+        edited = small_spec(losses=(0.0, 0.1))
+        plan = plan_campaign(edited, cache_dir=str(tmp_path))
+        assert set(plan.cached_rows) == {
+            cell.index for cell in edited.cells() if cell.axes["loss"] == 0.0
+        }
+        assert all(cell.axes["loss"] == 0.1 for cell in plan.pending)
+        assert all(row["cached"] for row in plan.cached_rows.values())
+        description = plan.describe()
+        assert "2 cached, 2 pending" in description
