@@ -13,10 +13,21 @@ Usage::
     python benchmarks/check_regression.py              # gate (exit 1 on regression)
     python benchmarks/check_regression.py --update     # adopt fresh artifacts
     python benchmarks/check_regression.py --threshold 0.4
+    python benchmarks/check_regression.py --metric-gate energy=0.02 \\
+        --metric-gate overhead=0.10
 
-Only wall time gates: domain metrics (energy, percentiles, speedups) are
-deterministic or asserted by the benchmarks themselves, so the gate just
-surfaces their drift informationally.  Runs on stdlib only.
+Two things gate:
+
+* **wall time** — a module's total wall seconds vs its committed point
+  (``--threshold``, one-sided: only slowdowns fail);
+* **metric fields** — recorded domain metrics whose (flattened, dotted) name
+  contains one of the gated substrings (``DEFAULT_METRIC_GATES`` or
+  ``--metric-gate SUBSTR=FRAC``), two-sided: these are deterministic or
+  near-deterministic quantities (energy totals, cache hit rates, sim-latency
+  percentiles, traced-overhead ratios), so drift in *either* direction is a
+  behaviour change worth failing on.
+
+Everything else is surfaced informationally.  Runs on stdlib only.
 """
 
 from __future__ import annotations
@@ -34,6 +45,85 @@ if str(_HERE) not in sys.path:
 
 from _artifacts import artifact_dir, trajectory_dir  # noqa: E402
 
+#: Metric-name substrings gated by default, with their per-field relative
+#: tolerance.  Energy totals are deterministic (any drift is a semantics
+#: change); rates/percentiles/ratios get looser, noise-aware bounds.
+DEFAULT_METRIC_GATES: Dict[str, float] = {
+    "energy": 0.01,
+    "hit_rate": 0.25,
+    "sim_latency": 0.10,
+    "p50": 0.25,
+    "p95": 0.25,
+    "overhead": 0.25,
+}
+
+
+def parse_metric_gate(text: str) -> Dict[str, float]:
+    """One ``SUBSTR=FRAC`` override → ``{substr: fraction}``."""
+    substr, separator, fraction = text.partition("=")
+    if not separator or not substr:
+        raise ValueError(f"--metric-gate must be SUBSTR=FRAC, got {text!r}")
+    return {substr: float(fraction)}
+
+
+def flatten_metrics(value: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten an artifact's ``metrics`` tree into dotted numeric fields."""
+    fields: Dict[str, float] = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            fields.update(flatten_metrics(child, name))
+    elif isinstance(value, bool):
+        pass  # booleans are not gateable quantities
+    elif isinstance(value, (int, float)):
+        fields[prefix] = float(value)
+    return fields
+
+
+def _gate_for(name: str, gates: Dict[str, float]) -> Optional[float]:
+    """The tightest gate whose substring matches ``name`` (None = ungated)."""
+    matching = [frac for substr, frac in gates.items() if substr in name]
+    return min(matching) if matching else None
+
+
+def check_metrics(
+    module: str,
+    fresh: Dict,
+    baseline: Dict,
+    gates: Dict[str, float],
+) -> List[str]:
+    """Diff the two artifacts' gated metric fields; returns failure labels."""
+    fresh_fields = flatten_metrics(fresh.get("metrics", {}))
+    base_fields = flatten_metrics(baseline.get("metrics", {}))
+    failures: List[str] = []
+    for name in sorted(fresh_fields):
+        tolerance = _gate_for(name, gates)
+        if tolerance is None:
+            continue
+        fresh_value = fresh_fields[name]
+        base_value = base_fields.get(name)
+        if base_value is None:
+            print(f"  {module}.{name:<40} baseline=- fresh={fresh_value:.6g} "
+                  "(new, not gated)")
+            continue
+        if base_value == 0.0:
+            delta = 0.0 if fresh_value == 0.0 else float("inf")
+        else:
+            delta = (fresh_value - base_value) / abs(base_value)
+        if abs(delta) > tolerance:
+            failures.append(f"{module}.{name}")
+            status = f"METRIC REGRESSION (|Δ| > {tolerance:.0%})"
+        else:
+            status = "ok"
+        print(f"  {module}.{name:<40} baseline={base_value:.6g} "
+              f"fresh={fresh_value:.6g} delta={delta:+.1%}  {status}")
+    for name in sorted(set(base_fields) - set(fresh_fields)):
+        if _gate_for(name, gates) is not None:
+            failures.append(f"{module}.{name}")
+            print(f"  {module}.{name:<40} baseline={base_fields[name]:.6g} "
+                  "fresh=MISSING  METRIC REGRESSION (field disappeared)")
+    return failures
+
 
 def _load(path: Path) -> Optional[Dict]:
     try:
@@ -48,14 +138,22 @@ def _load(path: Path) -> Optional[Dict]:
     return data
 
 
-def check(fresh_dir: Path, baseline_dir: Path, threshold: float) -> int:
+def check(
+    fresh_dir: Path,
+    baseline_dir: Path,
+    threshold: float,
+    metric_gates: Optional[Dict[str, float]] = None,
+) -> int:
     """Print the comparison table; return the number of regressions."""
+    if metric_gates is None:
+        metric_gates = dict(DEFAULT_METRIC_GATES)
     fresh_paths = sorted(fresh_dir.glob("BENCH_*.json"))
     if not fresh_paths:
         print(f"error: no BENCH_*.json artifacts in {fresh_dir} — run the "
               "benchmarks first (pytest benchmarks/)", file=sys.stderr)
         return 1
     regressions: List[str] = []
+    metric_failures: List[str] = []
     print(f"{'module':<32} {'baseline s':>11} {'fresh s':>9} {'delta':>8}  status")
     for path in fresh_paths:
         fresh = _load(path)
@@ -78,9 +176,13 @@ def check(fresh_dir: Path, baseline_dir: Path, threshold: float) -> int:
         else:
             status = "ok"
         print(f"{name:<32} {base_s:>11.3f} {fresh_s:>9.3f} {delta:>+8.1%}  {status}")
+        metric_failures.extend(check_metrics(name, fresh, baseline, metric_gates))
     if regressions:
         print(f"\n{len(regressions)} wall-time regression(s): {', '.join(regressions)}")
-    return len(regressions)
+    if metric_failures:
+        print(f"\n{len(metric_failures)} metric regression(s): "
+              f"{', '.join(metric_failures)}")
+    return len(regressions) + len(metric_failures)
 
 
 def update(fresh_dir: Path, baseline_dir: Path) -> int:
@@ -116,12 +218,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="copy the fresh artifacts into the trajectory instead of gating",
     )
+    parser.add_argument(
+        "--metric-gate",
+        action="append",
+        default=None,
+        metavar="SUBSTR=FRAC",
+        help="gate metric fields whose dotted name contains SUBSTR at a "
+        "relative tolerance of FRAC (repeatable; overrides/extends the "
+        "defaults: "
+        + ", ".join(f"{k}={v:g}" for k, v in DEFAULT_METRIC_GATES.items())
+        + ")",
+    )
     args = parser.parse_args(argv)
     fresh = Path(args.fresh) if args.fresh else artifact_dir()
     baseline = Path(args.baseline) if args.baseline else trajectory_dir()
     if args.update:
         return update(fresh, baseline)
-    return 1 if check(fresh, baseline, args.threshold) else 0
+    gates = dict(DEFAULT_METRIC_GATES)
+    for override in args.metric_gate or []:
+        try:
+            gates.update(parse_metric_gate(override))
+        except ValueError as exc:
+            parser.error(str(exc))
+    return 1 if check(fresh, baseline, args.threshold, gates) else 0
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from .. import telemetry
 from ..exceptions import ParameterError
 from .base import CryptoBackend, FixedBaseTable
 
@@ -77,6 +78,7 @@ class NativeBackend(CryptoBackend):
             )
 
     def modexp(self, base: int, exponent: int, modulus: int) -> int:
+        telemetry.count("crypto.modexp")
         if modulus <= 0:
             raise ParameterError(f"modulus must be positive, got {modulus}")
         if exponent < 0:
@@ -98,6 +100,7 @@ class NativeBackend(CryptoBackend):
             ) from None
 
     def multi_exp(self, bases: Sequence[int], exponents: Sequence[int], modulus: int) -> int:
+        telemetry.count("crypto.multi_exp")
         if modulus <= 0:
             raise ParameterError(f"modulus must be positive, got {modulus}")
         if len(bases) != len(exponents):

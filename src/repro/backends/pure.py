@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import telemetry
 from ..mathutils.modular import FixedBaseExp, modexp, modinv, multi_exp
 from .base import CryptoBackend, FixedBaseTable
 
@@ -28,12 +29,14 @@ class PureBackend(CryptoBackend):
     name = "pure"
 
     def modexp(self, base: int, exponent: int, modulus: int) -> int:
+        telemetry.count("crypto.modexp")
         return modexp(base, exponent, modulus)
 
     def modinv(self, a: int, n: int) -> int:
         return modinv(a, n)
 
     def multi_exp(self, bases: Sequence[int], exponents: Sequence[int], modulus: int) -> int:
+        telemetry.count("crypto.multi_exp")
         return multi_exp(bases, exponents, modulus)
 
     def fixed_base(self, base: int, modulus: int, max_bits: int) -> FixedBaseExp:

@@ -32,7 +32,7 @@ from typing import List, Optional
 from ..backends.registry import available_backends
 from ..core.registry import describe_registry
 from ..exceptions import ReproError
-from ..profiling import maybe_profile
+from ..profiling import observability
 from .execute import run_campaign
 from .plan import plan_campaign
 from .spec import AXIS_NAMES, CampaignSpec
@@ -95,6 +95,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "to stderr (forces --workers 1 so the work happens in this process)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record per-cell spans; *.jsonl writes span JSONL, anything else "
+        "a Perfetto-loadable Chrome trace (forces --workers 1 so every cell "
+        "runs in this process)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/histograms and print the summary table to "
+        "stderr (pool workers' in-cell metrics stay in their processes; use "
+        "--workers 1 or the fleet for complete aggregation)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the summary on stdout"
     )
     args = parser.parse_args(argv)
@@ -134,8 +149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(plan_campaign(spec, cache_dir=args.cache_dir).describe())
         return 0
 
-    workers = 1 if args.profile else args.workers
-    with maybe_profile(args.profile):
+    workers = 1 if (args.profile or args.trace) else args.workers
+    with observability(
+        profile=args.profile, trace=args.trace, metrics=args.metrics
+    ):
         result = run_campaign(spec, workers=workers, cache_dir=args.cache_dir)
 
     if args.csv:

@@ -33,6 +33,8 @@ import os
 import time
 from typing import Dict, List, Mapping, Optional
 
+from .. import telemetry
+
 __all__ = ["CACHE_VERSION", "ResultCache", "payload_hash"]
 
 #: Bump on any change to what execute_cell computes from a payload.
@@ -84,16 +86,20 @@ class ResultCache:
                 row = json.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            telemetry.count("cache.misses")
             return None
         except (OSError, ValueError, UnicodeDecodeError) as exc:
             logger.warning("corrupt cache entry %s (%s): recomputing", path, exc)
             self.misses += 1
+            telemetry.count("cache.misses")
             return None
         if not isinstance(row, dict) or any(key not in row for key in _REQUIRED_ROW_KEYS):
             logger.warning("cache entry %s is not a result row: recomputing", path)
             self.misses += 1
+            telemetry.count("cache.misses")
             return None
         self.hits += 1
+        telemetry.count("cache.hits")
         row["cached"] = True
         return row
 
@@ -105,6 +111,7 @@ class ResultCache:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(stored, handle)
         os.replace(tmp, path)
+        telemetry.count("cache.puts")
 
     # ------------------------------------------------------------ maintenance
     def prune(
@@ -147,9 +154,19 @@ class ResultCache:
             except OSError:
                 continue
         if removed:
+            telemetry.count("cache.pruned", removed)
             logger.info("pruned %d cache entr%s from %s",
                         removed, "y" if removed == 1 else "ies", self.directory)
         return removed
+
+    def summary_line(self) -> str:
+        """One line of hit/miss statistics (logged at campaign end)."""
+        total = self.hits + self.misses
+        rate = 100.0 * self.hits / total if total else 0.0
+        return (
+            f"cache {self.directory}: {self.hits} hits, {self.misses} misses "
+            f"({rate:.0f}% hit rate), {len(self)} entries on disk"
+        )
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".json"))

@@ -20,18 +20,22 @@ cells are replayed from disk and only payload changes recompute.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..exceptions import ParameterError
 from .cache import ResultCache
 from .result import CampaignResult
 from .spec import CampaignCell, CampaignSpec
 
 __all__ = ["execute_cell", "run_campaign"]
+
+logger = logging.getLogger(__name__)
 
 #: Per-process SystemSetup cache: building the 256/1024-bit parameter sets is
 #: pure and deterministic, so sharing one instance across a worker's cells
@@ -74,7 +78,24 @@ def execute_cell(payload: Dict[str, object]) -> Dict[str, object]:
     except Exception as exc:  # crash isolation: the row *is* the error report
         tail = traceback.format_exc().strip().splitlines()[-1]
         row["error"] = f"{type(exc).__name__}: {exc}" if str(exc) else tail
-    row["wall_seconds"] = time.perf_counter() - started
+    wall = time.perf_counter() - started
+    row["wall_seconds"] = wall
+    # Telemetry is observation-only: the row never carries spans or metrics
+    # (it must stay bit-identical across workers=1/N), they only describe it.
+    tracer = telemetry.active_tracer()
+    if tracer is not None:
+        tracer.complete(
+            f"cell:{row['cell']}",
+            category="cell",
+            track="cells",
+            wall_start=tracer.now() - wall,
+            wall_dur=wall,
+            args={"error": row["error"]} if row["error"] else None,
+        )
+    telemetry.count("campaign.cells")
+    telemetry.observe("campaign.cell_wall_s", wall)
+    if row["error"]:
+        telemetry.count("campaign.cell_errors")
     return row
 
 
@@ -209,6 +230,9 @@ def run_campaign(
                 _finish(cell, row)
 
     assert all(row is not None for row in rows)
+    if cache is not None:
+        telemetry.count("cache.cells_replayed", cache.hits)
+        logger.info("%s", cache.summary_line())
     return CampaignResult(
         name=spec.name,
         spec=spec.to_dict(),

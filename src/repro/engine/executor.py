@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import telemetry
 from ..exceptions import ParameterError, ProtocolError
 from ..backends.registry import resolve_backend, use_backend
 from ..network.medium import BroadcastMedium
@@ -136,6 +137,12 @@ class MachineExecutor:
             self.adversary.attach(medium)
         self.kernel = EventKernel()
         self.stats = EngineStats()
+        # Resolved once per run: hot paths (machine hooks, transmissions)
+        # check a local attribute instead of the telemetry module globals.
+        self._tracer = telemetry.active_tracer()
+        self._metrics = telemetry.active_metrics()
+        self.kernel.tracer = self._tracer
+        self.kernel.metrics = self._metrics
         self._order: Dict[int, int] = {id(m): i for i, m in enumerate(self.machines)}
         self._by_name: Dict[str, PartyMachine] = {m.identity.name: m for m in self.machines}
         #: (sender, round_label) pairs each machine has already consumed
@@ -163,7 +170,30 @@ class MachineExecutor:
         host-side arithmetic goes.
         """
         with use_backend(self.config.crypto_backend):
-            return self._run()
+            if self._tracer is None and self._metrics is None:
+                return self._run()
+            with telemetry.span(
+                "engine.run",
+                category="engine",
+                track="kernel",
+                sim_start=self.kernel.now,
+                args={"parties": len(self.machines)},
+            ) as span:
+                stats = self._run()
+                if span is not None:
+                    span.finish_sim(stats.sim_time_s)
+                    span.arg("messages_sent", stats.messages_sent)
+                    span.arg("timeout_waves", stats.timeout_waves)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.count("engine.runs")
+                metrics.count("engine.messages_sent", stats.messages_sent)
+                metrics.count("engine.deliveries", stats.deliveries)
+                metrics.count("engine.timeouts", stats.timeouts)
+                metrics.count("engine.retransmission_waves", stats.timeout_waves)
+                metrics.count("engine.events", stats.events)
+                metrics.observe("engine.sim_time_s", stats.sim_time_s)
+            return stats
 
     def _run(self) -> EngineStats:
         for index, machine in enumerate(self.machines):
@@ -202,6 +232,14 @@ class MachineExecutor:
                 f"timeout retransmission waves at t={self.kernel.now:g}s: {stalled}"
             )
         self.stats.timeouts += len(unfinished)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "engine.timeout_wave",
+                category="engine",
+                track="kernel",
+                sim_time=self.kernel.now,
+                args={"unfinished": len(unfinished)},
+            )
         self.kernel.advance(self.config.round_timeout_s)
         stalled_rounds: List[str] = []
         for machine in unfinished:
@@ -220,7 +258,22 @@ class MachineExecutor:
 
     # ----------------------------------------------------------------- hooks
     def _hook(self, machine: PartyMachine, action: Callable[[float], List[Outbound]]) -> None:
-        outbounds = action(self.kernel.now)
+        tracer = self._tracer
+        if tracer is None:
+            outbounds = action(self.kernel.now)
+        else:
+            label = machine.waiting_for or "start"
+            started = tracer.now()
+            outbounds = action(self.kernel.now)
+            tracer.complete(
+                f"party:{label}",
+                category="party",
+                track=machine.identity.name,
+                wall_start=started,
+                wall_dur=tracer.now() - started,
+                sim_start=self.kernel.now,
+                sim_dur=0.0,
+            )
         if outbounds:
             self.kernel.schedule(
                 partial(self._emit, machine, list(outbounds)),
@@ -245,6 +298,9 @@ class MachineExecutor:
             self._busy_until = tx_start + tx_time
             channel_wait = tx_start - now
         self.stats.messages_sent += 1
+        if self._metrics is not None:
+            self._metrics.count("engine.tx.messages")
+            self._metrics.count("engine.tx.bits", message.wire_bits)
         # The physical send (and its energy charges) already happened; an
         # active adversary now gets to decide what the receivers *decode*:
         # nothing (jamming), a substituted payload, or the truth but late.

@@ -53,6 +53,10 @@ class EventKernel:
         self.events_processed = 0
         self._heap: List[_Entry] = []
         self._seq = 0
+        #: observation-only telemetry hooks (set by the executor; ``None``
+        #: keeps the batch loop on its historical zero-overhead path)
+        self.tracer = None
+        self.metrics = None
 
     # ------------------------------------------------------------ scheduling
     def schedule(
@@ -97,9 +101,28 @@ class EventKernel:
                 batch.append(heapq.heappop(self._heap))
             if instant > self.now:
                 self.now = instant
-            for _, _, _, _, callback in batch:
-                callback()
-                self.events_processed += 1
+            # Telemetry is observation-only: the span and gauge record what
+            # the batch did, never influence what it does.
+            if self.metrics is not None:
+                self.metrics.gauge_max(
+                    "engine.queue_depth", len(self._heap) + len(batch)
+                )
+            if self.tracer is None:
+                for _, _, _, _, callback in batch:
+                    callback()
+                    self.events_processed += 1
+            else:
+                with self.tracer.span(
+                    "kernel.batch",
+                    category="kernel",
+                    track="kernel",
+                    sim_start=instant,
+                    args={"size": len(batch)},
+                ) as span:
+                    for _, _, _, _, callback in batch:
+                        callback()
+                        self.events_processed += 1
+                    span.finish_sim(self.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EventKernel(now={self.now:g}, pending={self.pending()})"

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from ..campaign.spec import CampaignSpec
 from ..exceptions import ReproError
+from ..profiling import observability
 from .controller import CampaignController
 from .worker import FleetWorker
 
@@ -63,7 +64,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "cells and no workers (default: wait forever)")
     controller.add_argument("--progress-every", type=float, default=2.0,
                             help="seconds between progress lines on stderr "
-                            "(0 disables)")
+                            "(0 disables; the final 100%% line always prints)")
+    controller.add_argument("--progress-json", default=None, metavar="PATH",
+                            help="stream every FleetProgress snapshot as one "
+                            "JSON object per line to this file ('-' for stderr)")
+    controller.add_argument("--trace", default=None, metavar="PATH",
+                            help="record controller dispatch spans plus every "
+                            "worker's per-cell spans; *.jsonl writes span "
+                            "JSONL, anything else a Perfetto-loadable Chrome "
+                            "trace (workers appear as trace processes)")
+    controller.add_argument("--metrics", action="store_true",
+                            help="aggregate worker metrics fleet-wide and "
+                            "print the summary table to stderr")
     controller.add_argument("--quiet", action="store_true",
                             help="suppress the plan/summary on stdout")
 
@@ -96,13 +108,32 @@ def _controller_main(args: argparse.Namespace) -> int:
         return 2
 
     last_line = [0.0]
+    final_emitted = [False]
+    progress_json = None
+    if args.progress_json is not None:
+        progress_json = (
+            sys.stderr
+            if args.progress_json == "-"
+            else open(args.progress_json, "w", encoding="utf-8")
+        )
 
     def _stream_progress(snapshot) -> None:
+        if progress_json is not None:
+            print(json.dumps(snapshot.to_dict()), file=progress_json, flush=True)
+        if not args.progress_every:
+            return
         now = time.monotonic()
-        if args.progress_every and now - last_line[0] >= args.progress_every:
+        # The final 100% snapshot always prints (once) — a run must never end
+        # with a stale progress line on screen.
+        if snapshot.complete and not final_emitted[0]:
+            final_emitted[0] = True
+            last_line[0] = now
+            print(snapshot.render(), file=sys.stderr)
+        elif not snapshot.complete and now - last_line[0] >= args.progress_every:
             last_line[0] = now
             print(snapshot.render(), file=sys.stderr)
 
+    watch_progress = bool(args.progress_every) or progress_json is not None
     try:
         controller = CampaignController(
             spec,
@@ -112,7 +143,7 @@ def _controller_main(args: argparse.Namespace) -> int:
             heartbeat_s=args.heartbeat,
             max_requeues=args.max_requeues,
             idle_timeout_s=args.idle_timeout,
-            on_progress=_stream_progress if args.progress_every else None,
+            on_progress=_stream_progress if watch_progress else None,
         )
         host, port = controller.bind()
     except (ReproError, OSError) as exc:
@@ -125,10 +156,16 @@ def _controller_main(args: argparse.Namespace) -> int:
     print(f"listening on {host}:{port}", flush=True)
 
     try:
-        result = controller.serve()
+        with observability(
+            trace=args.trace, metrics=args.metrics, process="controller"
+        ):
+            result = controller.serve()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if progress_json is not None and progress_json is not sys.stderr:
+            progress_json.close()
 
     if args.csv:
         result.to_csv(args.csv)

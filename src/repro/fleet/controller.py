@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..campaign.cache import ResultCache, payload_hash
 from ..campaign.plan import CampaignPlan, plan_campaign
 from ..campaign.result import CampaignResult
@@ -70,6 +71,9 @@ class _Worker:
     unit: Optional[WorkUnit] = None  # the in-flight work unit, if busy
     last_seen: float = 0.0
     cells_done: int = 0
+    #: tracer-epoch time the in-flight unit was dispatched (wall offset for
+    #: adopting the worker's cell-relative spans)
+    dispatched_at: float = 0.0
 
 
 class CampaignController:
@@ -165,6 +169,11 @@ class CampaignController:
         self._worker_losses = 0
         self._workers_seen = 0
         self._peak_workers = 0
+        # Resolved from the active telemetry session when serve() starts;
+        # None keeps every hook on its zero-overhead path.
+        self._tracer = None
+        self._metrics = None
+        self._worker_metrics: Dict[str, Dict[str, object]] = {}
 
     # ----------------------------------------------------------------- status
     @property
@@ -222,6 +231,11 @@ class CampaignController:
             workers=workers,
             worker_losses=self._worker_losses,
             requeues=self._requeues,
+            metrics=self._metrics.snapshot() if self._metrics is not None else {},
+            worker_metrics={
+                name: dict(snapshot)
+                for name, snapshot in self._worker_metrics.items()
+            },
         )
 
     def _notify(self) -> None:
@@ -251,6 +265,8 @@ class CampaignController:
         """
         self.bind()
         assert self._selector is not None
+        self._tracer = telemetry.active_tracer()
+        self._metrics = telemetry.active_metrics()
         self._started = time.perf_counter()
         self._notify()
         idle_since: Optional[float] = None
@@ -355,8 +371,21 @@ class CampaignController:
                     "version": PROTOCOL_VERSION,
                     "campaign": self.spec.name,
                     "heartbeat_s": self.heartbeat_s,
+                    # Advertised telemetry: workers wrap each cell in a
+                    # session and ship spans/metrics back on the row frame.
+                    "trace": self._tracer is not None,
+                    "metrics": self._metrics is not None,
                 },
             )
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "fleet.worker_joined",
+                    category="fleet",
+                    track="workers",
+                    args={"worker": worker.name, "pid": worker.pid},
+                )
+            if self._metrics is not None:
+                self._metrics.count("fleet.workers_seen")
             self._dispatch(sock, worker)
             self._notify()
         elif kind == "row":
@@ -365,6 +394,7 @@ class CampaignController:
                 return  # stale row from a requeued unit some other worker won
             worker.unit = None
             worker.cells_done += len(unit.indices)
+            self._absorb_telemetry(worker, unit, message)
             row = message.get("row")
             if not isinstance(row, dict):
                 # A worker that cannot produce a row forfeits the unit.
@@ -374,7 +404,8 @@ class CampaignController:
             self._dispatch(sock, worker)
             self._notify()
         elif kind == "heartbeat":
-            pass  # last_seen already refreshed in _service
+            if self._metrics is not None:
+                self._metrics.count("fleet.heartbeats")
         elif kind == "bye":
             self._drop(sock)
             self._notify()
@@ -392,11 +423,62 @@ class CampaignController:
         unit.attempts += 1
         worker.unit = unit
         self._dispatched_units += 1
+        worker.dispatched_at = (
+            self._tracer.now() if self._tracer is not None else time.perf_counter()
+        )
+        if self._metrics is not None:
+            self._metrics.count("fleet.dispatches")
+            self._metrics.gauge_max(
+                "fleet.in_flight",
+                sum(1 for w in self._workers.values() if w.unit is not None),
+            )
         self._send(
             sock,
             worker,
             {"type": "cell", "unit": unit.key, "payload": unit.payload},
         )
+
+    def _absorb_telemetry(
+        self, worker: _Worker, unit: WorkUnit, message: Dict
+    ) -> None:
+        """Fold the row frame's sibling telemetry into the controller's view.
+
+        The dispatch span lands on the controller process (one track per
+        worker); the worker's own spans are adopted under the worker's name
+        as a trace *process*, rebased from cell-relative wall time onto the
+        controller tracer's epoch via the dispatch timestamp.
+        """
+        tracer = self._tracer
+        if tracer is not None:
+            finished = tracer.now()
+            tracer.complete(
+                f"dispatch:{unit.payload.get('cell', unit.key[:12])}",
+                category="dispatch",
+                track=worker.name or "worker",
+                wall_start=worker.dispatched_at,
+                wall_dur=max(0.0, finished - worker.dispatched_at),
+                args={"worker": worker.name, "attempts": unit.attempts,
+                      "cells": len(unit.indices)},
+            )
+            spans = message.get("spans")
+            if isinstance(spans, list):
+                tracer.adopt(
+                    spans,
+                    process=worker.name or "worker",
+                    wall_offset=worker.dispatched_at,
+                )
+        snapshot = message.get("metrics")
+        if isinstance(snapshot, dict):
+            if self._metrics is not None:
+                self._metrics.merge(snapshot)
+                elapsed = (
+                    tracer.now() if tracer is not None else time.perf_counter()
+                ) - worker.dispatched_at
+                self._metrics.observe("fleet.dispatch_wall_s", max(0.0, elapsed))
+            name = worker.name or "worker"
+            self._worker_metrics[name] = telemetry.merge_snapshots(
+                [self._worker_metrics.get(name, {}), snapshot]
+            )
 
     def _record(self, unit: WorkUnit, row: Dict[str, object]) -> None:
         """File one computed row under every cell index the unit serves."""
@@ -418,8 +500,20 @@ class CampaignController:
                 f"{unit.attempts} time(s); retries exhausted"
             )
             self._record(unit, _error_row(unit.payload, message))
+            if self._metrics is not None:
+                self._metrics.count("fleet.cells_written_off", len(unit.indices))
             return
         self._requeues += len(unit.indices)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "fleet.requeue",
+                category="fleet",
+                track="workers",
+                args={"cell": str(unit.payload.get("cell", "")),
+                      "attempts": unit.attempts},
+            )
+        if self._metrics is not None:
+            self._metrics.count("fleet.requeues", len(unit.indices))
         self._queue.appendleft(unit)
         # Offer it immediately to any idle worker instead of waiting for the
         # next row to trigger a dispatch.
@@ -443,6 +537,15 @@ class CampaignController:
         unit = worker.unit
         if worker.registered:
             self._worker_losses += 1
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "fleet.worker_lost",
+                    category="fleet",
+                    track="workers",
+                    args={"worker": worker.name},
+                )
+            if self._metrics is not None:
+                self._metrics.count("fleet.worker_losses")
         self._drop(sock)
         if unit is not None:
             self._requeue(unit)
@@ -479,6 +582,22 @@ class CampaignController:
 
     def _assemble(self) -> CampaignResult:
         assert all(row is not None for row in self._rows)
+        elapsed = time.perf_counter() - self._started
+        if self._tracer is not None:
+            self._tracer.complete(
+                "fleet.campaign",
+                category="fleet",
+                track="controller",
+                wall_start=max(0.0, self._tracer.now() - elapsed),
+                wall_dur=elapsed,
+                args={
+                    "cells": self.plan.total,
+                    "cached": len(self.plan.cached_rows),
+                    "dispatched_units": self._dispatched_units,
+                    "requeues": self._requeues,
+                    "worker_losses": self._worker_losses,
+                },
+            )
         return CampaignResult(
             name=self.spec.name,
             spec=self.spec.to_dict(),

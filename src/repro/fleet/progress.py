@@ -44,10 +44,44 @@ class FleetProgress:
     workers: Dict[str, WorkerView] = field(default_factory=dict)
     worker_losses: int = 0
     requeues: int = 0
+    #: fleet-wide merged metrics snapshot (empty unless the controller runs
+    #: with metrics enabled; see repro.telemetry)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: per-worker merged metrics snapshots, keyed by worker name
+    worker_metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         return self.done >= self.total
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable view (the ``--progress-json`` stream format)."""
+        return {
+            "campaign": self.campaign,
+            "total": self.total,
+            "done": self.done,
+            "cached": self.cached,
+            "in_flight": self.in_flight,
+            "pending": self.pending,
+            "elapsed_s": self.elapsed_s,
+            "rows_per_s": self.rows_per_s,
+            "eta_s": self.eta_s,
+            "complete": self.complete,
+            "workers": {
+                name: {
+                    "name": view.name,
+                    "pid": view.pid,
+                    "state": view.state,
+                    "cells_done": view.cells_done,
+                    "current_cell": view.current_cell,
+                }
+                for name, view in self.workers.items()
+            },
+            "worker_losses": self.worker_losses,
+            "requeues": self.requeues,
+            "metrics": self.metrics,
+            "worker_metrics": self.worker_metrics,
+        }
 
     def render(self) -> str:
         """The canonical one-line progress view."""

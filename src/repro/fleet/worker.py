@@ -26,10 +26,14 @@ import time
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from .. import telemetry
 from ..exceptions import FleetError
 from .wire import PROTOCOL_VERSION, FrameDecoder, send_message
 
 __all__ = ["FleetWorker"]
+
+#: Per-cell span cap: bounds the row frame far below the 64 MiB wire limit.
+_CELL_MAX_SPANS = 50_000
 
 
 class FleetWorker:
@@ -63,6 +67,9 @@ class FleetWorker:
         self.connect_timeout_s = connect_timeout_s
         self.heartbeat_s = heartbeat_s
         self.cells_done = 0
+        #: per-cell telemetry, switched on by the controller's welcome
+        self.trace_cells = False
+        self.metrics_cells = False
         self._sock: Optional[socket.socket] = None
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
@@ -86,6 +93,8 @@ class FleetWorker:
                     f"welcome us (got {welcome!r})"
                 )
             self.heartbeat_s = float(welcome.get("heartbeat_s", self.heartbeat_s))
+            self.trace_cells = bool(welcome.get("trace", False))
+            self.metrics_cells = bool(welcome.get("metrics", False))
             heartbeat_thread.start()
             self._serve_cells()
         finally:
@@ -115,9 +124,23 @@ class FleetWorker:
             if kind != "cell":
                 continue  # tolerate unknown-but-well-formed messages
             payload = message.get("payload")
-            row = execute_cell(dict(payload) if isinstance(payload, dict) else {})
+            reply: Dict[str, object] = {"type": "row", "unit": message.get("unit", "")}
+            # Telemetry rides the frame as *sibling* keys, never inside the
+            # row: rows must stay bit-identical to an untraced workers=1 run.
+            with telemetry.telemetry_session(
+                trace=self.trace_cells,
+                metrics=self.metrics_cells,
+                process=self.name,
+                max_spans=_CELL_MAX_SPANS,
+            ) as session:
+                row = execute_cell(dict(payload) if isinstance(payload, dict) else {})
+            if session.tracer is not None:
+                reply["spans"] = [span.to_dict() for span in session.tracer.spans]
+            if session.metrics is not None:
+                reply["metrics"] = session.metrics.snapshot()
             self.cells_done += 1
-            self._send({"type": "row", "unit": message.get("unit", ""), "row": row})
+            reply["row"] = row
+            self._send(reply)
 
     # ------------------------------------------------------------- transport
     def _connect_with_retries(self) -> socket.socket:

@@ -14,7 +14,9 @@ import sys
 from contextlib import contextmanager
 from typing import Iterator, Optional, TextIO
 
-__all__ = ["maybe_profile"]
+from . import telemetry
+
+__all__ = ["maybe_profile", "observability"]
 
 
 @contextmanager
@@ -40,3 +42,38 @@ def maybe_profile(
         stats.strip_dirs().sort_stats("cumulative")
         print(f"--- profile: top {top} by cumulative time ---", file=out)
         stats.print_stats(top)
+
+
+@contextmanager
+def observability(
+    *,
+    profile: bool = False,
+    trace: Optional[str] = None,
+    metrics: bool = False,
+    process: str = "main",
+    top: int = 25,
+    stream: Optional[TextIO] = None,
+) -> Iterator[telemetry.TelemetrySession]:
+    """The CLIs' combined run-phase wrapper: cProfile + tracing + metrics.
+
+    ``trace`` is an export path (``*.jsonl`` → span JSONL, anything else →
+    Chrome trace JSON); ``None`` leaves tracing off.  On exit the trace is
+    written and the metrics summary table printed to ``stream`` (stderr by
+    default, like ``--profile``), keeping piped CSV/JSON output clean.  All
+    three features off makes this a pure no-op.
+    """
+    with maybe_profile(profile, top=top, stream=stream):
+        with telemetry.telemetry_session(
+            trace=trace is not None, metrics=metrics, process=process
+        ) as session:
+            yield session
+    out = stream if stream is not None else sys.stderr
+    if session.tracer is not None and trace is not None:
+        session.tracer.export(trace)
+        print(
+            f"--- trace: {len(session.tracer.spans)} spans "
+            f"({session.tracer.dropped} dropped) -> {trace} ---",
+            file=out,
+        )
+    if session.metrics is not None:
+        print(telemetry.render_metrics_table(session.metrics.snapshot()), file=out)

@@ -48,7 +48,7 @@ from ..backends.registry import available_backends, set_default_backend
 from ..core.base import SystemSetup
 from ..core.registry import available_protocols, describe_registry
 from ..exceptions import ReproError
-from ..profiling import maybe_profile
+from ..profiling import observability
 from .report import comparison_csv, comparison_json, comparison_table
 from .runner import ScenarioRunner
 from .specio import build_engine, build_scenario
@@ -106,6 +106,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="cProfile the run phase and print the top cumulative hotspots to stderr",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record dual-clock spans for the run phase; *.jsonl writes span "
+        "JSONL, anything else a Perfetto-loadable Chrome trace",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect counters/gauges/histograms during the run and print the "
+        "summary table to stderr",
+    )
     parser.add_argument("--csv", default=None, help="write the comparison CSV here")
     parser.add_argument("--json", default=None, help="write the comparison JSON here")
     parser.add_argument(
@@ -146,7 +159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             else available_protocols()
         )
         runner = ScenarioRunner(setup, engine=engine, check_agreement=False)
-        with maybe_profile(args.profile):
+        with observability(
+            profile=args.profile, trace=args.trace, metrics=args.metrics
+        ):
             reports = [runner.run(name, scenario) for name in protocols]
     except ReproError as exc:
         # Once the spec has parsed, only library failures are expected —

@@ -40,6 +40,7 @@ import time
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
+from .. import telemetry
 from ..adversary.actors import AdversarySuite
 from ..adversary.oracles import OracleContext, evaluate_oracles
 from ..core.base import GroupState, Protocol, ProtocolResult, SystemSetup
@@ -135,6 +136,18 @@ class ScenarioRunner:
         """Execute ``scenario`` under ``protocol`` and return the report."""
         if isinstance(protocol, str):
             protocol = create_protocol(protocol, self.setup)
+        with telemetry.span(
+            f"scenario:{scenario.name}",
+            category="scenario",
+            track="scenario",
+            args={"protocol": protocol.name},
+        ) as scenario_span:
+            report = self._run(protocol, scenario)
+            if scenario_span is not None:
+                scenario_span.arg("steps", len(report.records))
+        return report
+
+    def _run(self, protocol: Protocol, scenario: Scenario) -> ScenarioReport:
         medium, field = self._build_medium(scenario)
         suite = scenario.build_adversary()
         engine = self.engine
@@ -266,6 +279,27 @@ class ScenarioRunner:
                 raise
             error = exc
         wall = time.perf_counter() - started
+        tracer = telemetry.active_tracer()
+        if tracer is not None:
+            tracer.complete(
+                f"step:{kind}",
+                category="step",
+                track="scenario",
+                wall_start=tracer.now() - wall,
+                wall_dur=wall,
+                sim_start=event_time,
+                sim_dur=result.sim_latency_s if result is not None else 0.0,
+                args={
+                    "index": index,
+                    "aborted": result is None,
+                },
+            )
+        telemetry.count("scenario.steps")
+        telemetry.observe("scenario.step_wall_s", wall)
+        if result is not None:
+            telemetry.observe("scenario.sim_latency_s", result.sim_latency_s)
+        else:
+            telemetry.count("scenario.aborted_steps")
         new_state = result.state if result is not None else None
         if suite is not None:
             suite.end_step(new_state)

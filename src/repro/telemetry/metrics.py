@@ -1,0 +1,301 @@
+"""Process-local metrics: counters, gauges and bucketed histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing integer (messages sent, bits
+  on air, cache hits, modexp calls);
+* :class:`Gauge` — a last-written value plus its peak (kernel queue depth,
+  fleet in-flight cells);
+* :class:`Histogram` — a log₂-bucketed distribution (per-step sim latency,
+  cell wall time, message sizes) whose snapshot supports approximate
+  percentiles without retaining individual observations.
+
+The design constraints come from the determinism contract and the fleet:
+
+* **Observation-only.**  Instruments never touch RNG streams, virtual time
+  or any simulated quantity — recording a value cannot perturb a run, so a
+  scenario with metrics enabled is bit-identical to one without.
+* **Mergeable snapshots.**  :meth:`MetricsRegistry.snapshot` is a plain JSON
+  dict, and :func:`merge_snapshots` is associative and commutative: counters
+  and histogram buckets add, gauges take the max.  That is exactly what lets
+  fleet workers ship their per-cell snapshots over the existing
+  length-prefixed frames and the controller fold them — in any arrival
+  order — into one fleet-wide view.
+* **Cheap when on, free-ish when off.**  Instruments are ``__slots__``
+  objects doing one addition per event; the *disabled* path never reaches
+  this module at all (see the guards in :mod:`repro.telemetry`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "histogram_percentile",
+    "merge_snapshots",
+    "render_metrics_table",
+    "summary_fields",
+]
+
+#: Histogram bucket exponents are clamped into this range: 2^-30 (~1 ns) to
+#: 2^60 covers every latency, byte count and energy figure the system emits.
+_MIN_EXP = -30
+_MAX_EXP = 60
+#: Dedicated bucket for zero/negative observations (sorts before every 2^e).
+_ZERO_EXP = _MIN_EXP - 1
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-written value and the peak it ever reached."""
+
+    __slots__ = ("value", "peak")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+
+def _bucket_exp(value: float) -> int:
+    """The log₂ bucket for ``value`` (bucket upper bound is ``2**exp``)."""
+    if value <= 0:
+        return _ZERO_EXP
+    _, exp = math.frexp(value)  # 2^(exp-1) <= value < 2^exp
+    return min(max(exp, _MIN_EXP), _MAX_EXP)
+
+
+class Histogram:
+    """A log₂-bucketed distribution with exact count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exp = _bucket_exp(value)
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+
+def histogram_percentile(snapshot: Dict[str, object], q: float) -> float:
+    """Approximate the ``q`` percentile (0..1) of a histogram *snapshot*.
+
+    Walks the log₂ buckets in order and returns the upper bound of the bucket
+    containing the q-th observation, clamped into the exact ``[min, max]``
+    range — good to within one bucket (a factor of two), which is plenty for
+    a summary table.
+    """
+    count = int(snapshot.get("count", 0))
+    if count == 0:
+        return 0.0
+    lo = float(snapshot["min"])
+    hi = float(snapshot["max"])
+    target = max(1, math.ceil(q * count))
+    seen = 0
+    buckets = snapshot.get("buckets", {})
+    for exp in sorted(int(e) for e in buckets):
+        seen += int(buckets[str(exp)] if str(exp) in buckets else buckets[exp])
+        if seen >= target:
+            upper = 0.0 if exp == _ZERO_EXP else float(2.0 ** exp)
+            return min(max(upper, lo), hi)
+    return hi
+
+
+class MetricsRegistry:
+    """A flat, process-local namespace of instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------ instruments
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -------------------------------------------------------------- shortcuts
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Record ``value`` only if it raises the gauge (peak tracking)."""
+        gauge = self.gauge(name)
+        if value > gauge.value:
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> Dict[str, object]:
+        """The registry's state as a plain JSON-serializable dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {
+                name: {"value": g.value, "peak": g.peak}
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "buckets": {str(exp): n for exp, n in sorted(h.buckets.items())},
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold one snapshot into this registry (same semantics as
+        :func:`merge_snapshots`)."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.count(name, int(value))
+        for name, gauge in (snapshot.get("gauges") or {}).items():
+            self.gauge_max(name, float(gauge.get("peak", gauge.get("value", 0.0))))
+        for name, hist in (snapshot.get("histograms") or {}).items():
+            mine = self.histogram(name)
+            count = int(hist.get("count", 0))
+            if count == 0:
+                continue
+            mine.count += count
+            mine.total += float(hist.get("sum", 0.0))
+            mine.min = min(mine.min, float(hist.get("min", math.inf)))
+            mine.max = max(mine.max, float(hist.get("max", -math.inf)))
+            for exp, n in (hist.get("buckets") or {}).items():
+                exp = int(exp)
+                mine.buckets[exp] = mine.buckets.get(exp, 0) + int(n)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Merge metric snapshots: counters add, gauges max, histograms add.
+
+    Associative and commutative — folding worker snapshots in any grouping or
+    arrival order produces the same fleet-wide view (pinned by
+    ``tests/test_telemetry.py``).
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            merged.merge(snapshot)
+    return merged.snapshot()
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def render_metrics_table(snapshot: Dict[str, object], *, title: str = "metrics") -> str:
+    """A snapshot as a fixed-width text table (the CLIs' ``--metrics`` view)."""
+    lines: List[str] = [f"--- {title} ---"]
+    counters: Dict[str, object] = snapshot.get("counters") or {}
+    gauges: Dict[str, object] = snapshot.get("gauges") or {}
+    histograms: Dict[str, object] = snapshot.get("histograms") or {}
+    if not (counters or gauges or histograms):
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+    width = max(
+        [len("name")]
+        + [len(name) for name in counters]
+        + [len(name) for name in gauges]
+        + [len(name) for name in histograms]
+    ) + 2
+    if counters:
+        lines.append(f"{'counter':<{width}} {'value':>14}")
+        for name, value in counters.items():
+            lines.append(f"{name:<{width}} {value:>14}")
+    if gauges:
+        lines.append(f"{'gauge':<{width}} {'value':>14} {'peak':>14}")
+        for name, gauge in gauges.items():
+            lines.append(
+                f"{name:<{width}} {_fmt(float(gauge['value'])):>14} "
+                f"{_fmt(float(gauge['peak'])):>14}"
+            )
+    if histograms:
+        lines.append(
+            f"{'histogram':<{width}} {'count':>9} {'mean':>11} {'p50':>11} "
+            f"{'p95':>11} {'max':>11}"
+        )
+        for name, hist in histograms.items():
+            count = int(hist.get("count", 0))
+            mean = float(hist.get("sum", 0.0)) / count if count else 0.0
+            lines.append(
+                f"{name:<{width}} {count:>9} {_fmt(mean):>11} "
+                f"{_fmt(histogram_percentile(hist, 0.5)):>11} "
+                f"{_fmt(histogram_percentile(hist, 0.95)):>11} "
+                f"{_fmt(float(hist.get('max', 0.0))):>11}"
+            )
+    return "\n".join(lines)
+
+
+def summary_fields(snapshot: Dict[str, object]) -> Dict[str, float]:
+    """Flatten a snapshot into scalar ``name -> value`` fields.
+
+    Counters map directly, gauges contribute ``<name>.peak``, histograms
+    contribute ``<name>.count`` / ``.sum`` / ``.p50`` / ``.p95`` — the shape
+    the benchmark artifacts record and the regression gate diffs.
+    """
+    fields: Dict[str, float] = {}
+    for name, value in (snapshot.get("counters") or {}).items():
+        fields[name] = float(value)
+    for name, gauge in (snapshot.get("gauges") or {}).items():
+        fields[f"{name}.peak"] = float(gauge.get("peak", 0.0))
+    for name, hist in (snapshot.get("histograms") or {}).items():
+        fields[f"{name}.count"] = float(hist.get("count", 0))
+        fields[f"{name}.sum"] = float(hist.get("sum", 0.0))
+        fields[f"{name}.p50"] = histogram_percentile(hist, 0.5)
+        fields[f"{name}.p95"] = histogram_percentile(hist, 0.95)
+    return fields

@@ -1,0 +1,368 @@
+"""Dual-clock tracing: spans carrying wall time *and* virtual sim time.
+
+A :class:`Span` records where time went in one unit of work — a protocol
+run, a per-party round action, a kernel batch, a scenario step, a campaign
+cell, a fleet dispatch.  Every span carries two clocks:
+
+* **wall** — host seconds relative to the owning tracer's epoch (what the
+  hardware spent);
+* **sim** — virtual seconds from the event kernel (what the *simulated*
+  network spent), absent for work outside any kernel run.
+
+Spans live on two axes borrowed from the Chrome trace-event model: a
+*process* (the fleet maps each worker to one; standalone runs use ``main``)
+and a *track* (the "thread" row inside a process — one per simulated party,
+plus ``kernel`` / ``scenario`` / ``cells`` service tracks).
+
+Exports:
+
+* :meth:`Tracer.to_jsonl` — one self-describing JSON object per span;
+* :meth:`Tracer.to_chrome` — Chrome trace-event JSON loadable in Perfetto
+  (``chrome://tracing``): wall time drives ``ts``/``dur``, sim times ride in
+  ``args.sim_start_s`` / ``args.sim_dur_s``, and metadata events name every
+  process and track.
+
+Tracing is observation-only by construction: spans are recorded *around*
+work that never reads them back, so a traced run is bit-identical to an
+untraced one (the golden equivalence suite pins this).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One traced unit of work (mutable while open, plain data after)."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "process",
+        "track",
+        "wall_start",
+        "wall_dur",
+        "sim_start",
+        "sim_dur",
+        "phase",
+        "args",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        process: str = "main",
+        track: str = "main",
+        wall_start: float = 0.0,
+        wall_dur: float = 0.0,
+        sim_start: Optional[float] = None,
+        sim_dur: Optional[float] = None,
+        phase: str = "span",
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.process = process
+        self.track = track
+        self.wall_start = wall_start
+        self.wall_dur = wall_dur
+        self.sim_start = sim_start
+        self.sim_dur = sim_dur
+        self.phase = phase  # "span" (duration) or "instant"
+        self.args = args if args is not None else {}
+
+    # ------------------------------------------------------------- open spans
+    def finish_sim(self, sim_end: float) -> None:
+        """Close the sim clock: duration from ``sim_start`` to ``sim_end``."""
+        if self.sim_start is not None:
+            self.sim_dur = max(0.0, sim_end - self.sim_start)
+
+    def arg(self, key: str, value: object) -> None:
+        self.args[key] = value
+
+    # ---------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.category,
+            "process": self.process,
+            "track": self.track,
+            "wall_start_s": round(self.wall_start, 9),
+            "wall_dur_s": round(self.wall_dur, 9),
+            "phase": self.phase,
+        }
+        if self.sim_start is not None:
+            payload["sim_start_s"] = self.sim_start
+        if self.sim_dur is not None:
+            payload["sim_dur_s"] = self.sim_dur
+        if self.args:
+            payload["args"] = self.args
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        return cls(
+            str(payload.get("name", "?")),
+            category=str(payload.get("cat", "")),
+            process=str(payload.get("process", "main")),
+            track=str(payload.get("track", "main")),
+            wall_start=float(payload.get("wall_start_s", 0.0)),
+            wall_dur=float(payload.get("wall_dur_s", 0.0)),
+            sim_start=(
+                float(payload["sim_start_s"]) if "sim_start_s" in payload else None
+            ),
+            sim_dur=float(payload["sim_dur_s"]) if "sim_dur_s" in payload else None,
+            phase=str(payload.get("phase", "span")),
+            args=dict(payload.get("args") or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, track={self.track!r}, "
+            f"wall={self.wall_start:.6f}+{self.wall_dur:.6f}s, sim={self.sim_start})"
+        )
+
+
+class Tracer:
+    """Collects spans against one wall-clock epoch.
+
+    ``max_spans`` bounds memory on pathological workloads: past it, new spans
+    are counted in :attr:`dropped` instead of stored (the count is exported
+    so a truncated trace is never mistaken for a complete one).
+    """
+
+    def __init__(self, process: str = "main", *, max_spans: int = 250_000) -> None:
+        self.process = process
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+
+    # ----------------------------------------------------------------- clocks
+    def now(self) -> float:
+        """Host seconds since this tracer's epoch."""
+        return time.perf_counter() - self._epoch
+
+    # -------------------------------------------------------------- recording
+    def add(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        track: str = "main",
+        process: Optional[str] = None,
+        sim_start: Optional[float] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> Iterator[Span]:
+        """Open a span around a block; the yielded span is mutable inside."""
+        span = Span(
+            name,
+            category=category,
+            process=process if process is not None else self.process,
+            track=track,
+            wall_start=self.now(),
+            sim_start=sim_start,
+            args=args,
+        )
+        try:
+            yield span
+        finally:
+            span.wall_dur = self.now() - span.wall_start
+            self.add(span)
+
+    def complete(
+        self,
+        name: str,
+        *,
+        wall_start: float,
+        wall_dur: float,
+        category: str = "",
+        track: str = "main",
+        process: Optional[str] = None,
+        sim_start: Optional[float] = None,
+        sim_dur: Optional[float] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record an already-measured span (the hot-path form)."""
+        self.add(
+            Span(
+                name,
+                category=category,
+                process=process if process is not None else self.process,
+                track=track,
+                wall_start=wall_start,
+                wall_dur=wall_dur,
+                sim_start=sim_start,
+                sim_dur=sim_dur,
+                args=args,
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        track: str = "main",
+        process: Optional[str] = None,
+        sim_time: Optional[float] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a zero-duration marker (timeout wave, worker loss, ...)."""
+        self.add(
+            Span(
+                name,
+                category=category,
+                process=process if process is not None else self.process,
+                track=track,
+                wall_start=self.now(),
+                wall_dur=0.0,
+                sim_start=sim_time,
+                sim_dur=0.0 if sim_time is not None else None,
+                phase="instant",
+                args=args,
+            )
+        )
+
+    def adopt(
+        self,
+        payloads: Iterable[Dict[str, object]],
+        *,
+        process: Optional[str] = None,
+        wall_offset: float = 0.0,
+    ) -> int:
+        """Absorb serialized spans from another process into this trace.
+
+        ``process`` overrides the spans' process axis (the controller files
+        worker spans under the worker's name) and ``wall_offset`` shifts
+        their wall clock onto this tracer's epoch (workers time spans
+        relative to the cell's start; the controller knows when it dispatched
+        the cell).  Returns how many spans were adopted.
+        """
+        adopted = 0
+        for payload in payloads:
+            try:
+                span = Span.from_dict(payload)
+            except (TypeError, ValueError):
+                continue  # a malformed span is dropped, never fatal
+            if process is not None:
+                span.process = process
+            span.wall_start += wall_offset
+            self.add(span)
+            adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------ views
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def count(self, category: Optional[str] = None) -> int:
+        if category is None:
+            return len(self.spans)
+        return sum(1 for span in self.spans if span.category == category)
+
+    def processes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.process)
+        return list(seen)
+
+    # ---------------------------------------------------------------- exports
+    def to_jsonl(self, path: str) -> None:
+        """One JSON object per span (plus a trailing meta line)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write("\n")
+            handle.write(
+                json.dumps(
+                    {"meta": {"spans": len(self.spans), "dropped": self.dropped}},
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+
+    def chrome_events(self) -> List[Dict[str, object]]:
+        """The spans as Chrome trace-event dicts (``ts``/``dur`` in µs)."""
+        pids: Dict[str, int] = {}
+        tids: Dict[Tuple[str, str], int] = {}
+        events: List[Dict[str, object]] = []
+        for span in self.spans:
+            pid = pids.get(span.process)
+            if pid is None:
+                pid = pids[span.process] = len(pids) + 1
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "process_name",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": span.process},
+                    }
+                )
+            key = (span.process, span.track)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = sum(1 for p, _ in tids if p == span.process) + 1
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": span.track},
+                    }
+                )
+            args: Dict[str, object] = dict(span.args)
+            if span.sim_start is not None:
+                args["sim_start_s"] = span.sim_start
+            if span.sim_dur is not None:
+                args["sim_dur_s"] = span.sim_dur
+            event: Dict[str, object] = {
+                "name": span.name,
+                "cat": span.category or "general",
+                "pid": pid,
+                "tid": tid,
+                "ts": round(span.wall_start * 1e6, 3),
+                "args": args,
+            }
+            if span.phase == "instant":
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = round(max(span.wall_dur, 0.0) * 1e6, 3)
+            events.append(event)
+        return events
+
+    def to_chrome(self, path: str) -> None:
+        """Write the Perfetto/chrome://tracing-loadable trace JSON."""
+        document = {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+
+    def export(self, path: str) -> None:
+        """Write the trace: ``*.jsonl`` → JSONL, anything else → Chrome JSON."""
+        if path.endswith(".jsonl"):
+            self.to_jsonl(path)
+        else:
+            self.to_chrome(path)

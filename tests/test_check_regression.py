@@ -1,0 +1,137 @@
+"""The benchmark regression gate's metric-field checks.
+
+``benchmarks/check_regression.py`` gates two things: module wall time
+(one-sided — only slowdowns fail) and recorded domain metrics (two-sided —
+energy totals, hit rates, latency percentiles and traced-overhead ratios are
+deterministic or near-deterministic, so drift either way is a behaviour
+change).  These tests pin the metric-side machinery: flattening, gate
+matching (tightest matching substring wins), the pass/fail/disappeared
+verdicts, and the end-to-end exit status through :func:`check`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _artifact(directory: Path, name: str, wall: float, metrics: dict) -> None:
+    payload = {"name": name, "total_wall_seconds": wall, "metrics": metrics}
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestFlattenAndGates:
+    def test_flatten_produces_dotted_numeric_fields(self):
+        tree = {
+            "energy": {"total_j": 1.5, "per_node": {"a": 0.5}},
+            "cells": 4,
+            "complete": True,  # booleans are not gateable quantities
+            "label": "text",
+        }
+        flat = check_regression.flatten_metrics(tree)
+        assert flat == {
+            "energy.total_j": 1.5,
+            "energy.per_node.a": 0.5,
+            "cells": 4.0,
+        }
+
+    def test_tightest_matching_gate_wins(self):
+        gates = {"energy": 0.01, "p95": 0.25, "latency": 0.10}
+        assert check_regression._gate_for("run.energy.total_j", gates) == 0.01
+        # Two substrings match: the stricter tolerance applies.
+        assert check_regression._gate_for("latency.p95", gates) == 0.10
+        assert check_regression._gate_for("cache.puts", gates) is None
+
+    def test_parse_metric_gate(self):
+        assert check_regression.parse_metric_gate("energy=0.05") == {"energy": 0.05}
+        with pytest.raises(ValueError):
+            check_regression.parse_metric_gate("no-separator")
+        with pytest.raises(ValueError):
+            check_regression.parse_metric_gate("=0.1")
+
+
+class TestCheckMetrics:
+    GATES = {"energy": 0.01}
+
+    def test_within_tolerance_passes(self, capsys):
+        fresh = {"metrics": {"energy_j": 1.000}}
+        base = {"metrics": {"energy_j": 1.005}}
+        assert check_regression.check_metrics("m", fresh, base, self.GATES) == []
+        assert "ok" in capsys.readouterr().out
+
+    def test_drift_fails_in_both_directions(self):
+        base = {"metrics": {"energy_j": 1.0}}
+        up = {"metrics": {"energy_j": 1.10}}
+        down = {"metrics": {"energy_j": 0.90}}
+        assert check_regression.check_metrics("m", up, base, self.GATES) == [
+            "m.energy_j"
+        ]
+        assert check_regression.check_metrics("m", down, base, self.GATES) == [
+            "m.energy_j"
+        ]
+
+    def test_new_field_is_reported_not_gated(self, capsys):
+        fresh = {"metrics": {"energy_j": 1.0}}
+        assert check_regression.check_metrics("m", fresh, {}, self.GATES) == []
+        assert "new, not gated" in capsys.readouterr().out
+
+    def test_disappeared_field_fails(self, capsys):
+        base = {"metrics": {"energy_j": 1.0}}
+        failures = check_regression.check_metrics("m", {}, base, self.GATES)
+        assert failures == ["m.energy_j"]
+        assert "field disappeared" in capsys.readouterr().out
+
+    def test_zero_baseline_only_matches_zero(self):
+        base = {"metrics": {"energy_j": 0.0}}
+        assert check_regression.check_metrics(
+            "m", {"metrics": {"energy_j": 0.0}}, base, self.GATES
+        ) == []
+        assert check_regression.check_metrics(
+            "m", {"metrics": {"energy_j": 0.1}}, base, self.GATES
+        ) == ["m.energy_j"]
+
+    def test_ungated_fields_never_fail(self):
+        base = {"metrics": {"cells": 2}}
+        fresh = {"metrics": {"cells": 200}}
+        assert check_regression.check_metrics("m", fresh, base, self.GATES) == []
+
+
+class TestCheckEndToEnd:
+    def test_metric_regression_fails_the_gate(self, tmp_path, capsys):
+        fresh, baseline = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), baseline.mkdir()
+        _artifact(fresh, "mod", 1.0, {"energy_j": 2.0})
+        _artifact(baseline, "mod", 1.0, {"energy_j": 1.0})
+        failures = check_regression.check(
+            fresh, baseline, 0.25, {"energy": 0.01}
+        )
+        assert failures == 1
+        assert "metric regression" in capsys.readouterr().out
+
+    def test_clean_run_passes_and_faster_is_fine(self, tmp_path):
+        fresh, baseline = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), baseline.mkdir()
+        _artifact(fresh, "mod", 0.5, {"energy_j": 1.0})  # 2x faster: one-sided ok
+        _artifact(baseline, "mod", 1.0, {"energy_j": 1.0})
+        assert check_regression.check(fresh, baseline, 0.25, {"energy": 0.01}) == 0
+
+    def test_cli_metric_gate_override(self, tmp_path):
+        fresh, baseline = tmp_path / "fresh", tmp_path / "base"
+        fresh.mkdir(), baseline.mkdir()
+        _artifact(fresh, "mod", 1.0, {"traced_overhead": 1.2})
+        _artifact(baseline, "mod", 1.0, {"traced_overhead": 1.0})
+        argv = ["--fresh", str(fresh), "--baseline", str(baseline)]
+        # Default overhead gate (25%) tolerates the 20% drift...
+        assert check_regression.main(argv) == 0
+        # ...a tightened CLI gate does not.
+        assert check_regression.main(argv + ["--metric-gate", "overhead=0.1"]) == 1
