@@ -38,7 +38,10 @@ HEADLINE_PROTOCOLS = ["proposed-gka", "bd-unauthenticated", "bd-ecdsa"]
 
 def main() -> None:
     setup = SystemSetup.from_param_sets("test-256", "gq-test-256")
-    out_dir = os.environ.get("ATTACK_MATRIX_OUT", ".")
+    out_dir = os.environ.get("ATTACK_MATRIX_OUT") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    os.makedirs(out_dir, exist_ok=True)
 
     # ------------------------------------------------- one attacked comparison
     scenario = Scenario(

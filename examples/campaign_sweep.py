@@ -36,7 +36,10 @@ SPEC = CampaignSpec(
 def main() -> None:
     workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
     cache_dir = os.environ.get("CAMPAIGN_CACHE")
-    out_dir = os.environ.get("CAMPAIGN_SWEEP_OUT", ".")
+    out_dir = os.environ.get("CAMPAIGN_SWEEP_OUT") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    os.makedirs(out_dir, exist_ok=True)
 
     print(f"grid: {len(SPEC.cells())} cells, {workers} worker(s)")
     result = run_campaign(SPEC, workers=workers, cache_dir=cache_dir)

@@ -54,6 +54,7 @@ def main() -> None:
 
     out_dir = os.environ.get("LATENCY_SWEEP_OUT")
     if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
         path = os.path.join(out_dir, "latency_sweep.csv")
         result.to_csv(path)
         print(f"\nwrote {path}")

@@ -54,7 +54,10 @@ SPEC = CampaignSpec(
 
 def main() -> None:
     workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
-    out_dir = os.environ.get("MOBILITY_SWEEP_OUT", ".")
+    out_dir = os.environ.get("MOBILITY_SWEEP_OUT") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    os.makedirs(out_dir, exist_ok=True)
 
     result = run_campaign(SPEC, workers=workers)
     assert result.failures() == []

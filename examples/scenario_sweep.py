@@ -57,7 +57,10 @@ COLUMNS = ("energy_j", "messages", "bits", "bits_with_retries", "agreed")
 def main() -> None:
     print("Registered protocols:", ", ".join(available_protocols()))
     workers = int(os.environ.get("CAMPAIGN_WORKERS", 0)) or (os.cpu_count() or 1)
-    out_dir = os.environ.get("SCENARIO_SWEEP_OUT", ".")
+    out_dir = os.environ.get("SCENARIO_SWEEP_OUT") or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out"
+    )
+    os.makedirs(out_dir, exist_ok=True)
 
     for spec in CAMPAIGNS:
         result = run_campaign(spec, workers=workers)

@@ -46,6 +46,7 @@ AXIS_NAMES = (
     "protocol",
     "group_size",
     "mobility",
+    "tiers",
     "loss",
     "engine",
     "adversary",
@@ -129,6 +130,12 @@ class CampaignSpec:
     mobilities:
         Named mobility axis: ``{name: mobility-spec-or-None}``.  The default
         single ``"none"`` point keeps every cell schedule-driven.
+    tiers:
+        Named multi-tier topology axis: ``{name: tiers-spec-or-None}`` (see
+        :func:`repro.sim.specio.build_tiers`).  A treatment axis — cells
+        sharing a workload keep their seed across tier configurations — and
+        mutually exclusive with non-trivial ``mobilities`` entries.  On a
+        tiered cell the loss axis becomes the config's ``loss_floor``.
     engines:
         Engine profiles (``instant`` / ``radio`` / ``wlan`` / ``fixed:<s>`` or
         spec dicts, see :func:`repro.sim.specio.build_engine`).
@@ -160,6 +167,7 @@ class CampaignSpec:
     losses: Tuple[float, ...] = (0.0,)
     schedule: Optional[Mapping] = None
     mobilities: Tuple[Tuple[str, Optional[Mapping]], ...] = (("none", None),)
+    tiers: Tuple[Tuple[str, Optional[Mapping]], ...] = (("none", None),)
     engines: Tuple[object, ...] = ("instant",)
     adversaries: Tuple[Tuple[str, object], ...] = (("none", None),)
     seed: object = 0
@@ -185,6 +193,11 @@ class CampaignSpec:
             self,
             "mobilities",
             _named_axis(self.mobilities, default_name="none", what="mobilities"),
+        )
+        object.__setattr__(
+            self,
+            "tiers",
+            _named_axis(self.tiers, default_name="none", what="tiers"),
         )
         object.__setattr__(self, "engines", tuple(self.engines))
         if not self.engines:
@@ -212,6 +225,13 @@ class CampaignSpec:
             raise ParameterError(
                 "a campaign sweeps either a churn schedule or mobility models, "
                 "not both (a scenario is driven by exactly one of them)"
+            )
+        if any(spec is not None for _, spec in self.tiers) and any(
+            spec is not None for _, spec in self.mobilities
+        ):
+            raise ParameterError(
+                "a campaign sweeps either tier topologies or mobility models, "
+                "not both (a scenario's topology comes from exactly one of them)"
             )
 
     # ------------------------------------------------------------- round trip
@@ -241,6 +261,7 @@ class CampaignSpec:
             "losses": list(self.losses),
             "schedule": dict(self.schedule) if self.schedule is not None else None,
             "mobilities": {name: spec for name, spec in self.mobilities},
+            "tiers": {name: spec for name, spec in self.tiers},
             "engines": list(self.engines),
             "adversaries": {name: spec for name, spec in self.adversaries},
             "seed": seed_to_spec(self.seed),
@@ -304,6 +325,18 @@ class CampaignSpec:
         folded["edge_loss"] = max(loss, float(folded.get("edge_loss", 0.0)))
         return folded
 
+    @staticmethod
+    def _fold_loss_tiers(tier_spec: Mapping, loss: float) -> Dict[str, object]:
+        """Apply the loss axis to a tiers spec (a per-class ``loss_floor``).
+
+        Like the mobility fold, the axis only *raises* constant class
+        losses; Gilbert–Elliott classes already model their loss and are
+        left alone (see :class:`~repro.network.tiers.TierConfig`).
+        """
+        folded = dict(tier_spec)
+        folded["loss_floor"] = max(loss, float(folded.get("loss_floor", 0.0)))
+        return folded
+
     def cells(self) -> List[CampaignCell]:
         """Expand the axes into the ordered cell list.
 
@@ -316,26 +349,29 @@ class CampaignSpec:
         for protocol in self.protocols:
             for size in self.group_sizes:
                 for mobility_name, mobility_spec in self.mobilities:
-                    for loss in self.losses:
-                        for engine in self.engines:
-                            engine_label = self.engine_label(engine)
-                            for adversary_name, adversary_spec in self.adversaries:
-                                for rep in range(self.replications):
-                                    cells.append(
-                                        self._cell(
-                                            index=len(cells),
-                                            protocol=protocol,
-                                            size=size,
-                                            mobility_name=mobility_name,
-                                            mobility_spec=mobility_spec,
-                                            loss=loss,
-                                            engine=engine,
-                                            engine_label=engine_label,
-                                            adversary_name=adversary_name,
-                                            adversary_spec=adversary_spec,
-                                            rep=rep,
+                    for tier_name, tier_spec in self.tiers:
+                        for loss in self.losses:
+                            for engine in self.engines:
+                                engine_label = self.engine_label(engine)
+                                for adversary_name, adversary_spec in self.adversaries:
+                                    for rep in range(self.replications):
+                                        cells.append(
+                                            self._cell(
+                                                index=len(cells),
+                                                protocol=protocol,
+                                                size=size,
+                                                mobility_name=mobility_name,
+                                                mobility_spec=mobility_spec,
+                                                tier_name=tier_name,
+                                                tier_spec=tier_spec,
+                                                loss=loss,
+                                                engine=engine,
+                                                engine_label=engine_label,
+                                                adversary_name=adversary_name,
+                                                adversary_spec=adversary_spec,
+                                                rep=rep,
+                                            )
                                         )
-                                    )
         return cells
 
     def _cell(
@@ -346,6 +382,8 @@ class CampaignSpec:
         size: int,
         mobility_name: str,
         mobility_spec: Optional[Mapping],
+        tier_name: str,
+        tier_spec: Optional[Mapping],
         loss: float,
         engine: object,
         engine_label: str,
@@ -357,6 +395,7 @@ class CampaignSpec:
             "protocol": protocol,
             "group_size": size,
             "mobility": mobility_name,
+            "tiers": tier_name,
             "loss": loss,
             "engine": engine_label,
             "adversary": adversary_name,
@@ -376,6 +415,12 @@ class CampaignSpec:
         }
         if mobility_spec is not None:
             scenario["mobility"] = self._fold_loss(mobility_spec, loss)
+        elif tier_spec is not None:
+            if self.schedule is not None:
+                scenario["schedule"] = dict(self.schedule)
+            scenario["tiers"] = (
+                self._fold_loss_tiers(tier_spec, loss) if loss else dict(tier_spec)
+            )
         else:
             if self.schedule is not None:
                 scenario["schedule"] = dict(self.schedule)

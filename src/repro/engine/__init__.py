@@ -34,7 +34,7 @@ Two execution modes share the same machines:
 
 from .executor import EngineConfig, EngineStats, MachineExecutor, run_machines
 from .kernel import EventKernel
-from .latency import FixedLatency, LatencyModel, TransceiverLatency
+from .latency import FixedLatency, LatencyModel, TieredLatency, TransceiverLatency
 from .machine import MachinePlan, Outbound, PartyMachine
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "MachinePlan",
     "Outbound",
     "PartyMachine",
+    "TieredLatency",
     "TransceiverLatency",
     "run_machines",
 ]

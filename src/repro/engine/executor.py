@@ -130,6 +130,10 @@ class MachineExecutor:
         # silently swapped for the default just because it tests falsy.
         self.config = config if config is not None else EngineConfig()
         self.latency = self.config.latency
+        if self.latency is not None:
+            # Topology-aware models (TieredLatency) discover the medium's
+            # tier map here; everyone else inherits the no-op default.
+            self.latency.bind(medium)
         self.adversary = self.config.adversary
         if self.adversary is not None:
             # The eavesdropping tap rides the medium so the adversary hears
@@ -293,7 +297,7 @@ class MachineExecutor:
             channel_wait = tx_time = 0.0
         else:
             receipt = self.medium.transmit(message)
-            tx_time = self.latency.tx_time_s(message.wire_bits)
+            tx_time = self.latency.tx_time_for(message.wire_bits, message.sender.name)
             tx_start = max(now, self._busy_until) if self.config.serialize_channel else now
             self._busy_until = tx_start + tx_time
             channel_wait = tx_start - now
@@ -338,8 +342,8 @@ class MachineExecutor:
                 distance = 0.0
                 if field_ is not None and message.sender.name in field_ and identity.name in field_:
                     distance = field_.distance(message.sender.name, identity.name)
-                delay = channel_wait + tx_time + self.latency.delivery_delay_s(
-                    message.wire_bits, hops, distance
+                delay = channel_wait + tx_time + self.latency.delivery_delay_for(
+                    message.wire_bits, hops, distance, message.sender.name, identity.name
                 )
             self.kernel.schedule(
                 partial(self._deliver, receiver, decoded),

@@ -25,7 +25,7 @@ from typing import Optional
 from ..energy.transceiver import Transceiver
 from ..exceptions import ParameterError
 
-__all__ = ["LatencyModel", "FixedLatency", "TransceiverLatency"]
+__all__ = ["LatencyModel", "FixedLatency", "TransceiverLatency", "TieredLatency"]
 
 #: Speed of light, the default propagation speed (m/s).
 _C = 299_792_458.0
@@ -41,6 +41,22 @@ class LatencyModel(abc.ABC):
     @abc.abstractmethod
     def delivery_delay_s(self, bits: int, hops: int, distance_m: float) -> float:
         """Delay from the origin's transmission end to one receiver's decode."""
+
+    # The executor calls the ``*_for`` variants, which additionally see the
+    # endpoint names; the defaults delegate to the name-free methods, so
+    # existing models are untouched and pre-tier runs stay bit-identical.
+    def tx_time_for(self, bits: int, sender: str) -> float:
+        """Channel occupancy of ``sender``'s transmission of ``bits`` bits."""
+        return self.tx_time_s(bits)
+
+    def delivery_delay_for(
+        self, bits: int, hops: int, distance_m: float, sender: str, receiver: str
+    ) -> float:
+        """Per-receiver delivery delay (endpoint-aware variant)."""
+        return self.delivery_delay_s(bits, hops, distance_m)
+
+    def bind(self, medium: object) -> None:
+        """Observe the medium the executor runs over (topology-aware models)."""
 
     def describe(self) -> str:
         """One-line summary used in reports."""
@@ -114,3 +130,94 @@ class TransceiverLatency(LatencyModel):
             f"{self.transceiver.bitrate_bps:g} bps, "
             f"{self.per_hop_overhead_s * 1000.0:g} ms/hop)"
         )
+
+
+class TieredLatency(LatencyModel):
+    """Latency from per-link-class bitrates and propagation delays.
+
+    Resolves every delivery's serialization rate and propagation through a
+    :class:`~repro.network.tiers.TierMap` — normally discovered at
+    :meth:`bind` time from the medium's ``tier_map`` attribute, so one
+    engine profile serves every tiered scenario:
+
+    * ``tx_time_for``: the origin serializes at its *home* class's member
+      rate (the 1 Mbps satellite uplink really throttles satellite-homed
+      senders);
+    * ``delivery_delay_for``: relays re-serialize at the pair's class rate
+      (descending deliveries use the faster ``reverse_bps`` when set), plus
+      one extra re-serialization when the delivery crosses tiers — the
+      gateway forwarding onto the other tier's channel — plus the class's
+      fixed propagation delay (two tiers' worth for gateway-bridged pairs,
+      e.g. a 500 ms round trip over a 250 ms satellite hop each way).
+
+    Without a bound map (plain media, the degenerate single-tier collapse)
+    the ``fallback`` class prices everything — by default the ``ground``
+    preset.
+    """
+
+    def __init__(
+        self,
+        tier_map: Optional[object] = None,
+        *,
+        per_hop_overhead_s: float = 0.001,
+        fallback: Optional[object] = None,
+        propagation_m_per_s: float = _C,
+    ) -> None:
+        from ..network.tiers import LINK_CLASSES, LinkClass
+
+        if per_hop_overhead_s < 0:
+            raise ParameterError("per-hop overhead cannot be negative")
+        if propagation_m_per_s <= 0:
+            raise ParameterError("propagation speed must be positive")
+        if fallback is None:
+            fallback = LINK_CLASSES["ground"]
+        if not isinstance(fallback, LinkClass):
+            raise ParameterError("fallback must be a LinkClass")
+        self.tier_map = tier_map
+        self.per_hop_overhead_s = per_hop_overhead_s
+        self.fallback = fallback
+        self.propagation_m_per_s = propagation_m_per_s
+        # An explicitly supplied map must survive bind(); a discovered one
+        # is rebound per executor so the profile can be reused across runs.
+        self._explicit = tier_map is not None
+
+    def bind(self, medium: object) -> None:
+        if not self._explicit:
+            self.tier_map = getattr(medium, "tier_map", None)
+
+    def tx_time_s(self, bits: int) -> float:
+        return bits / self.fallback.bitrate_bps
+
+    def tx_time_for(self, bits: int, sender: str) -> float:
+        if self.tier_map is None:
+            return self.tx_time_s(bits)
+        return bits / self.tier_map.home_class(sender).bitrate_bps
+
+    def delivery_delay_s(self, bits: int, hops: int, distance_m: float) -> float:
+        relays = max(1, hops) - 1
+        return (
+            relays * (bits / self.fallback.bitrate_bps + self.per_hop_overhead_s)
+            + self.fallback.propagation_delay_s
+            + distance_m / self.propagation_m_per_s
+        )
+
+    def delivery_delay_for(
+        self, bits: int, hops: int, distance_m: float, sender: str, receiver: str
+    ) -> float:
+        if self.tier_map is None:
+            return self.delivery_delay_s(bits, hops, distance_m)
+        rate, propagation, cross = self.tier_map.latency_terms(sender, receiver)
+        # A cross-tier delivery pays one extra serialization at the bridging
+        # class's rate even on a direct link: the gateway (or the origin's
+        # uplink terminal) forwards the copy onto the other tier's channel.
+        reserializations = max(1, hops) - 1 + (1 if cross else 0)
+        return (
+            reserializations * (bits / rate + self.per_hop_overhead_s)
+            + propagation
+            + distance_m / self.propagation_m_per_s
+        )
+
+    def describe(self) -> str:
+        if self.tier_map is None:
+            return f"tiered(unbound, fallback={self.fallback.name})"
+        return f"tiered({self.tier_map.describe()})"

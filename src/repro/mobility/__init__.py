@@ -59,6 +59,7 @@ from .models import (
 )
 from .radio import RadioLink
 from .relay import MultiHopMedium
+from .tiered import TieredMedium
 
 __all__ = [
     "Area",
@@ -72,4 +73,5 @@ __all__ = [
     "RandomWaypoint",
     "ReferencePointGroup",
     "StaticGrid",
+    "TieredMedium",
 ]

@@ -74,7 +74,10 @@ class RadioLink(LinkModel):
         if distance > self.tx_range:
             return 1.0
         if self.edge_loss <= self.base_loss:
-            return self.base_loss
+            # Clamp the flat branch too: base_loss alone can exceed _MAX_LOSS
+            # (e.g. 0.9995), and an unclamped return here would break the
+            # "reachable links stay below 1" retry invariant.
+            return min(self.base_loss, _MAX_LOSS)
         ramp = (distance / self.tx_range) ** self.exponent
         return min(self.base_loss + (self.edge_loss - self.base_loss) * ramp, _MAX_LOSS)
 

@@ -27,11 +27,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..exceptions import NetworkError
 from ..mathutils.rand import DeterministicRNG
-from ..network.medium import BroadcastMedium, DeliveryReceipt
+from ..network.medium import BroadcastMedium, DeliveryReceipt, LinkModel
 from ..network.message import Message
 from .field import MobilityField, unit_draw
 from .graph import adjacency, component
-from .radio import RadioLink
 
 __all__ = ["MultiHopMedium"]
 
@@ -43,8 +42,13 @@ class MultiHopMedium(BroadcastMedium):
     ----------
     field:
         Node positions (read at the field's current time for every send).
+        ``None`` for static relaying topologies whose link model does not
+        read positions (e.g. the tiered media in
+        :mod:`repro.mobility.tiered`).
     link_model:
-        The distance-dependent link model deciding reachability and loss.
+        The link model deciding reachability and loss — typically the
+        distance-dependent :class:`~repro.mobility.radio.RadioLink`, or any
+        other :class:`~repro.network.medium.LinkModel`.
     max_hops:
         Flood depth bound (TTL) per wave.
     max_retries:
@@ -56,8 +60,8 @@ class MultiHopMedium(BroadcastMedium):
 
     def __init__(
         self,
-        field: MobilityField,
-        link_model: RadioLink,
+        field: Optional[MobilityField],
+        link_model: LinkModel,
         *,
         max_hops: int = 8,
         max_retries: int = 10,
@@ -78,9 +82,10 @@ class MultiHopMedium(BroadcastMedium):
 
         Cached per (field step, attached-node set); rebuilding is O(n^2)
         distance checks and node sets change only on membership events.
+        Without a field the topology only changes with membership.
         """
         names = tuple(sorted(name for name in (n.identity.name for n in self.nodes)))
-        key = (self.field.step_count, names)
+        key = (self.field.step_count if self.field is not None else -1, names)
         if self._graph_cache is not None and self._graph_cache[:2] == key:
             return self._graph_cache[2]
         graph = adjacency(self.link_model, names)
@@ -119,9 +124,10 @@ class MultiHopMedium(BroadcastMedium):
         }
         unreachable = addressed - self.reachable_set(origin_name)
         if unreachable:
+            when = f" at t={self.field.time:g}s" if self.field is not None else ""
             raise NetworkError(
                 f"message from {origin_name} cannot reach {sorted(unreachable)}: "
-                f"no relay path at t={self.field.time:g}s "
+                f"no relay path{when} "
                 "(the connectivity monitor should have partitioned them out)"
             )
 

@@ -19,9 +19,25 @@ from .message import (
     signature_part,
 )
 from .node import Node
+from .tiers import (
+    LINK_CLASSES,
+    GilbertElliott,
+    GilbertElliottLink,
+    LinkClass,
+    TierConfig,
+    TieredLink,
+    TierMap,
+)
 from .topology import RingTopology
 
 __all__ = [
+    "GilbertElliott",
+    "GilbertElliottLink",
+    "LINK_CLASSES",
+    "LinkClass",
+    "TierConfig",
+    "TierMap",
+    "TieredLink",
     "EventTraceGenerator",
     "JoinEvent",
     "LeaveEvent",

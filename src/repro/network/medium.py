@@ -42,6 +42,16 @@ class LinkModel:
         """Probability that one copy on the ``sender -> receiver`` link is lost."""
         return 0.0
 
+    def bind(self, rng: "DeterministicRNG") -> None:
+        """Receive the medium's ``links`` RNG child at attach time.
+
+        The medium forks a *named* child of its own RNG and hands it to the
+        link model here, so stateful models (the Gilbert–Elliott chains in
+        :mod:`repro.network.tiers`) get deterministic randomness without
+        ever touching the medium's own loss-draw stream.  Stateless models
+        ignore the call.
+        """
+
     def describe(self) -> str:
         """One-line summary used in reports."""
         return type(self).__name__
@@ -130,6 +140,10 @@ class BroadcastMedium:
         # `is None`, not truthiness: a caller-supplied RNG must never be
         # silently swapped for the default just because it tests falsy.
         self._rng = rng if rng is not None else DeterministicRNG("medium", label="medium")
+        # fork() is a pure function of the seed, so binding the link model's
+        # named child never advances (or otherwise perturbs) the medium's
+        # own draw stream — pre-tier runs stay bit-identical.
+        self.link_model.bind(self._rng.fork("links"))
         self._nodes: Dict[str, Node] = {}
         self.transcript: List[Message] = []
         self.receipts: List[DeliveryReceipt] = []
@@ -187,7 +201,13 @@ class BroadcastMedium:
         return draw < self.loss_probability
 
     def send(self, message: Message) -> DeliveryReceipt:
-        """Transmit a message, charging sender and receivers, with retries on loss."""
+        """Transmit a message, charging sender and receivers, with retries on loss.
+
+        Performs up to ``max_retries + 1`` physical attempts: the initial
+        transmission plus ``max_retries`` retries, every one of them charged
+        to the sender's (and each listening receiver's) energy ledger.  Only
+        when the last retry is also lost does :class:`NetworkError` surface.
+        """
         sender = self.node(message.sender)
         # Validate deliverability before anything is charged, so a failed
         # send is side-effect-free: a single-hop domain has no relays, and an

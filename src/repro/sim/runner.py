@@ -50,6 +50,7 @@ from ..engine.executor import EngineConfig
 from ..exceptions import ProtocolError, ReproError
 from ..mobility.field import MobilityField
 from ..mobility.relay import MultiHopMedium
+from ..mobility.tiered import TieredMedium
 from ..network.medium import BroadcastMedium
 from .report import EventRecord, ScenarioReport
 from .scenarios import Scenario
@@ -110,6 +111,32 @@ class ScenarioRunner:
     def _build_medium(self, scenario: Scenario) -> Tuple[BroadcastMedium, Optional[MobilityField]]:
         """The scenario's shared medium (and its field, when mobile)."""
         medium_rng = scenario.master_rng().fork("medium")
+        if scenario.tiers is not None:
+            tier_map = scenario.tiers.build_map(
+                [identity.name for identity in scenario.universe()]
+            )
+            degenerate = scenario.tiers.degenerate_loss
+            if degenerate is not None:
+                # A single gateway-free tier with i.i.d. loss *is* the
+                # classic flat domain: build the historic medium (identical
+                # draw streams, bit-identical runs) and keep the tier map
+                # around for topology-aware latency models.
+                medium = BroadcastMedium(
+                    loss_probability=degenerate,
+                    max_retries=scenario.max_retries,
+                    rng=medium_rng,
+                )
+                medium.tier_map = tier_map
+                return medium, None
+            return (
+                TieredMedium(
+                    tier_map,
+                    max_hops=scenario.tiers.max_hops,
+                    max_retries=scenario.max_retries,
+                    rng=medium_rng,
+                ),
+                None,
+            )
         if scenario.mobility is None:
             return (
                 BroadcastMedium(

@@ -25,9 +25,10 @@ from typing import Dict, List, Mapping, Optional, Union
 from ..adversary.config import AdversaryConfig
 from ..energy.transceiver import RADIO_100KBPS, WLAN_SPECTRUM24
 from ..engine.executor import EngineConfig
-from ..engine.latency import FixedLatency, TransceiverLatency
+from ..engine.latency import FixedLatency, TieredLatency, TransceiverLatency
 from ..exceptions import ParameterError
 from ..mobility.config import MobilityConfig
+from ..network.tiers import TierConfig
 from ..mobility.field import Area
 from ..mobility.models import RandomWaypoint, ReferencePointGroup, StaticGrid
 from ..network.events import (
@@ -57,12 +58,14 @@ __all__ = [
     "build_engine",
     "build_event",
     "build_scenario",
+    "build_tiers",
     "event_to_spec",
     "schedule_to_spec",
     "mobility_to_spec",
     "adversary_to_spec",
     "engine_to_spec",
     "scenario_to_spec",
+    "tiers_to_spec",
     "seed_to_spec",
     "build_seed",
 ]
@@ -255,6 +258,35 @@ def adversary_to_spec(adversary: Optional[AdversaryConfig]) -> Optional[Dict[str
     return spec
 
 
+# --------------------------------------------------------------------- tiers
+def build_tiers(spec: Optional[Mapping]) -> Optional[TierConfig]:
+    """A :class:`TierConfig` from its spec dict (``None`` passes through).
+
+    The spec's ``tiers`` entries name their link classes by preset
+    (``ground`` / ``aerial`` / ``satellite`` / ``satellite-bursty``) or
+    carry explicit field dicts; see :class:`~repro.network.tiers.TierConfig`
+    for the ``members`` / ``gateways`` / ``overrides`` shapes.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, TierConfig):
+        return spec
+    spec = dict(spec)
+    unknown = set(spec) - set(TierConfig.__dataclass_fields__)
+    if unknown:
+        raise ParameterError(f"unknown tiers spec keys: {sorted(unknown)}")
+    if "tiers" not in spec:
+        raise ParameterError("a tiers spec needs a 'tiers' entry")
+    return TierConfig(**spec)
+
+
+def tiers_to_spec(tiers: Optional[TierConfig]) -> Optional[Dict[str, object]]:
+    """Invert :func:`build_tiers` (presets collapse to their names)."""
+    if tiers is None:
+        return None
+    return tiers.to_spec()
+
+
 # -------------------------------------------------------------------- engine
 def build_engine(spec: Union[str, Mapping, None]) -> Optional[EngineConfig]:
     """An :class:`EngineConfig` from a profile string or spec dict.
@@ -283,10 +315,15 @@ def build_engine(spec: Union[str, Mapping, None]) -> Optional[EngineConfig]:
         return EngineConfig(latency=TransceiverLatency(RADIO_100KBPS))
     if spec == "wlan":
         return EngineConfig(latency=TransceiverLatency(WLAN_SPECTRUM24))
+    if spec == "tiered":
+        # Binds to the scenario medium's tier map at executor start; on
+        # non-tiered media it prices everything at the ground fallback.
+        return EngineConfig(latency=TieredLatency())
     if spec.startswith("fixed:"):
         return EngineConfig(latency=FixedLatency(float(spec.split(":", 1)[1])))
     raise ParameterError(
-        f"unknown engine profile {spec!r}; use instant, radio, wlan or fixed:<seconds>"
+        f"unknown engine profile {spec!r}; use instant, radio, wlan, tiered "
+        "or fixed:<seconds>"
     )
 
 
@@ -328,6 +365,22 @@ def engine_to_spec(engine: Optional[EngineConfig]) -> Union[str, Dict[str, objec
             raise ParameterError(
                 f"transceiver {latency.transceiver.name!r} has no engine profile name"
             )
+    elif isinstance(latency, TieredLatency):
+        default = TieredLatency()
+        if (
+            latency._explicit
+            or latency.per_hop_overhead_s != default.per_hop_overhead_s
+            or latency.fallback != default.fallback
+            or latency.propagation_m_per_s != default.propagation_m_per_s
+        ):
+            # A runtime-discovered tier_map is fine (it rebinds per run),
+            # but an explicitly pinned map or non-default knobs are not
+            # expressible as the bare profile string.
+            raise ParameterError(
+                "TieredLatency with an explicit tier map or non-default "
+                "knobs is not spec-serializable"
+            )
+        profile = "tiered"
     else:
         raise ParameterError(
             f"latency model {type(latency).__name__} is not spec-serializable"
@@ -363,7 +416,7 @@ def build_scenario(spec: Mapping, *, adversary_override: Optional[str] = None) -
         adversary_spec = adversary_override
     if "seed" in spec:
         spec["seed"] = build_seed(spec["seed"])
-    handled = {"name", "initial_size", "schedule", "mobility"}
+    handled = {"name", "initial_size", "schedule", "mobility", "tiers"}
     unknown = set(spec) - set(Scenario.__dataclass_fields__) - handled
     if unknown:
         raise ParameterError(f"unknown scenario spec keys: {sorted(unknown)}")
@@ -372,6 +425,7 @@ def build_scenario(spec: Mapping, *, adversary_override: Optional[str] = None) -
         initial_size=int(spec.pop("initial_size", 8)),
         schedule=build_schedule(spec.pop("schedule", None)),
         mobility=build_mobility(spec.pop("mobility", None)),
+        tiers=build_tiers(spec.pop("tiers", None)),
         adversary=build_adversary(adversary_spec),
         **spec,
     )
@@ -388,6 +442,8 @@ def scenario_to_spec(scenario: Scenario) -> Dict[str, object]:
         spec["schedule"] = schedule_to_spec(scenario.schedule)
     if scenario.mobility is not None:
         spec["mobility"] = mobility_to_spec(scenario.mobility)
+    if scenario.tiers is not None:
+        spec["tiers"] = tiers_to_spec(scenario.tiers)
     if scenario.adversary is not None:
         spec["adversary"] = adversary_to_spec(scenario.adversary)
     if scenario.loss_probability != 0.0:
